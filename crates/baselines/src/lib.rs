@@ -1,0 +1,54 @@
+//! # baselines — the TCP variants the paper compares TCP-PR against
+//!
+//! All senders implement [`transport::sender::TcpSenderAlgo`] and attach to
+//! a simulation with [`transport::host::attach_flow`]:
+//!
+//! | Module | Variant | Role in the paper |
+//! |---|---|---|
+//! | [`reno`] | TCP Reno / NewReno | DUPACK-driven substrate (Sections 1–2) |
+//! | [`sack`] | TCP SACK (RFC 3517-style) | fairness comparator (Section 4, Figures 2–4) |
+//! | [`tdfr`] | Time-delayed fast recovery | reordering comparator (Figure 6) |
+//! | [`dsack`] | DSACK-NM / Inc-by-1 / Inc-by-N / EWMA | Blanton–Allman dupthresh responses (Figure 6) |
+//! | [`eifel`] | Eifel | related work (Section 2), extension |
+//! | [`door`] | TCP-DOOR | related work (Section 2), extension |
+//!
+//! # Examples
+//!
+//! ```
+//! use baselines::sack::{SackConfig, SackSender};
+//! use netsim::{SimBuilder, LinkConfig, FlowId, SimTime};
+//! use transport::host::{attach_flow, receiver_host, FlowOptions};
+//!
+//! let mut b = SimBuilder::new(3);
+//! let src = b.add_node();
+//! let dst = b.add_node();
+//! b.add_duplex(src, dst, LinkConfig::mbps_ms(10.0, 10, 100));
+//! let mut sim = b.build();
+//! let h = attach_flow(
+//!     &mut sim,
+//!     FlowId::from_raw(0),
+//!     src,
+//!     dst,
+//!     SackSender::new(SackConfig::default()),
+//!     FlowOptions::default(),
+//! );
+//! sim.run_until(SimTime::from_secs_f64(5.0));
+//! assert!(receiver_host(&sim, h.receiver).delivered_bytes() > 1_000_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod door;
+pub mod dsack;
+pub mod eifel;
+pub mod reno;
+pub mod sack;
+pub mod tdfr;
+
+pub use door::{DoorConfig, DoorSender, DoorStats};
+pub use dsack::{DsackSender, DupthreshResponse};
+pub use eifel::EifelSender;
+pub use reno::{RenoConfig, RenoSender, RenoState, RenoStats};
+pub use sack::{SackConfig, SackSender, SackStats};
+pub use tdfr::{TdFrConfig, TdFrSender, TdFrStats};

@@ -1,0 +1,694 @@
+//! TCP Reno / NewReno senders (packet-granularity, ns-2 style).
+//!
+//! These are the DUPACK-driven baselines the paper contrasts with TCP-PR:
+//! fast retransmit fires after `dupthresh` duplicate ACKs, which misfires
+//! under persistent reordering. NewReno adds partial-ACK handling in fast
+//! recovery (RFC 2582); Reno exits recovery on any new ACK.
+
+use std::collections::HashSet;
+
+use netsim::time::{SimDuration, SimTime};
+use transport::rto::RtoEstimator;
+use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+
+/// Configuration shared by the Reno family.
+#[derive(Debug, Clone)]
+pub struct RenoConfig {
+    /// Partial-ACK handling in fast recovery (NewReno) vs. exit-on-new-ACK
+    /// (plain Reno).
+    pub newreno: bool,
+    /// Duplicate-ACK threshold for fast retransmit (3 in standard TCP).
+    pub dupthresh: u32,
+    /// RFC 3042 limited transmit: send one new segment on each of the first
+    /// two duplicate ACKs.
+    pub limited_transmit: bool,
+    /// Upper bound on the congestion window, in segments.
+    pub max_cwnd: f64,
+    /// Initial slow-start threshold, in segments. Bounds the initial
+    /// exponential overshoot; NewReno's hole-per-RTT recovery cannot cope
+    /// with a whole-window catastrophe on a fat pipe.
+    pub initial_ssthresh: f64,
+    /// Retransmission-timeout estimator.
+    pub rto: RtoEstimator,
+}
+
+impl Default for RenoConfig {
+    fn default() -> Self {
+        RenoConfig {
+            newreno: true,
+            dupthresh: 3,
+            limited_transmit: false,
+            max_cwnd: 10_000.0,
+            initial_ssthresh: 128.0,
+            rto: RtoEstimator::rfc2988(),
+        }
+    }
+}
+
+/// Loss-recovery state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenoState {
+    /// Normal operation.
+    Open,
+    /// Fast recovery; `recover` is `snd_nxt` at entry.
+    Recovery {
+        /// Sequence number that ends the recovery episode when cumulatively
+        /// acknowledged.
+        recover: u64,
+    },
+}
+
+/// Event counters for the Reno family.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct RenoStats {
+    /// Fast-retransmit events.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Duplicate ACKs observed.
+    pub dupacks: u64,
+    /// Partial ACKs handled inside fast recovery (NewReno only).
+    pub partial_acks: u64,
+    /// Segments acknowledged.
+    pub acked_segments: u64,
+}
+
+/// A TCP Reno / NewReno sender.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::reno::{RenoConfig, RenoSender};
+/// use transport::sender::{SenderOutput, TcpSenderAlgo};
+/// use netsim::time::SimTime;
+///
+/// let mut s = RenoSender::new(RenoConfig::default());
+/// let mut out = SenderOutput::new();
+/// s.on_start(SimTime::ZERO, &mut out);
+/// assert_eq!(out.transmissions().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RenoSender {
+    cfg: RenoConfig,
+    cwnd: f64,
+    ssthresh: f64,
+    snd_una: u64,
+    snd_nxt: u64,
+    dupacks: u32,
+    state: RenoState,
+    rto: RtoEstimator,
+    /// Fast retransmit is suppressed below this point (post-timeout "bugfix"
+    /// from RFC 2582).
+    fr_allowed_from: u64,
+    /// Highest sequence ever transmitted + 1 (go-back-N after a timeout
+    /// rewinds `snd_nxt` below this).
+    highest_sent: u64,
+    /// Extra segments granted by limited transmit (outside cwnd).
+    limited_transmit_credit: u64,
+    retransmitted: HashSet<u64>,
+    last_sent_at: Option<SimTime>,
+    stats: RenoStats,
+    /// `(cwnd, ssthresh)` saved at the most recent reduction, with the
+    /// retransmitted sequence that caused it — used by DSACK/Eifel wrappers.
+    pub(crate) last_reduction: Option<ReductionRecord>,
+}
+
+/// Snapshot of congestion state before a reduction (for spurious-retransmit
+/// undo à la Eifel/DSACK).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReductionRecord {
+    pub prior_cwnd: f64,
+    pub prior_ssthresh: f64,
+    /// First segment retransmitted by the reduction.
+    pub seq: u64,
+    /// Duplicate ACKs observed when the reduction fired.
+    pub dupacks: u32,
+    /// True if the reduction was a timeout (vs. fast retransmit).
+    #[allow(dead_code)]
+    pub was_timeout: bool,
+}
+
+impl RenoSender {
+    /// Creates a sender in slow start with `cwnd = 1`.
+    pub fn new(cfg: RenoConfig) -> Self {
+        let rto = cfg.rto.clone();
+        let ssthresh = cfg.initial_ssthresh;
+        RenoSender {
+            cfg,
+            cwnd: 1.0,
+            ssthresh,
+            snd_una: 0,
+            snd_nxt: 0,
+            dupacks: 0,
+            state: RenoState::Open,
+            rto,
+            fr_allowed_from: 0,
+            highest_sent: 0,
+            limited_transmit_credit: 0,
+            retransmitted: HashSet::new(),
+            last_sent_at: None,
+            stats: RenoStats::default(),
+            last_reduction: None,
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> RenoStats {
+        self.stats
+    }
+
+    /// Current recovery state.
+    pub fn state(&self) -> RenoState {
+        self.state
+    }
+
+    /// Current duplicate-ACK threshold.
+    pub fn dupthresh(&self) -> u32 {
+        self.cfg.dupthresh
+    }
+
+    /// Adjusts the duplicate-ACK threshold (used by the DSACK responses).
+    pub fn set_dupthresh(&mut self, dupthresh: u32) {
+        self.cfg.dupthresh = dupthresh.max(1);
+    }
+
+    /// Smoothed RTT estimate, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    /// Packets currently unacknowledged.
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// True if `seq` has an outstanding retransmission this episode.
+    pub(crate) fn was_retransmitted(&self, seq: u64) -> bool {
+        self.retransmitted.contains(&seq)
+    }
+
+    /// Clears the saved reduction record (after an undo has been applied).
+    pub(crate) fn clear_reduction(&mut self) {
+        self.last_reduction = None;
+    }
+
+    /// Undoes a spurious congestion response. `instant` restores both the
+    /// window and threshold at once (Eifel); otherwise the sender slow-starts
+    /// back up to the prior window (the Blanton–Allman response, footnote 3
+    /// of the TCP-PR paper: avoids injecting a sudden burst).
+    pub(crate) fn restore_after_spurious(&mut self, record: ReductionRecord, instant: bool) {
+        if instant {
+            self.cwnd = record.prior_cwnd.min(self.cfg.max_cwnd);
+            self.ssthresh = record.prior_ssthresh;
+        } else {
+            // Shed any fast-recovery inflation, then slow-start from the
+            // reduced window back up to the pre-reduction one.
+            self.cwnd = self.cwnd.min(self.ssthresh).max(1.0);
+            self.ssthresh = record.prior_cwnd.min(self.cfg.max_cwnd);
+        }
+        if let RenoState::Recovery { .. } = self.state {
+            self.state = RenoState::Open;
+        }
+        self.dupacks = 0;
+    }
+
+    fn send_new_data(&mut self, now: SimTime, out: &mut SenderOutput) {
+        let window = self.cwnd.min(self.cfg.max_cwnd);
+        while (self.flight() as f64) < window + self.limited_transmit_credit as f64 {
+            // After a timeout the window refills from snd_una (go-back-N):
+            // anything below highest_sent is a retransmission.
+            let is_rtx = self.snd_nxt < self.highest_sent;
+            if is_rtx {
+                self.retransmitted.insert(self.snd_nxt);
+            }
+            out.transmit(self.snd_nxt, is_rtx);
+            self.snd_nxt += 1;
+            self.highest_sent = self.highest_sent.max(self.snd_nxt);
+            self.last_sent_at = Some(now);
+        }
+    }
+
+    fn retransmit(&mut self, seq: u64, out: &mut SenderOutput) {
+        out.transmit(seq, true);
+        self.retransmitted.insert(seq);
+    }
+
+    fn arm_rto(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if self.flight() > 0 {
+            out.set_timer(now + self.rto.rto());
+        } else {
+            out.cancel_timer();
+        }
+    }
+
+    fn grow(&mut self, newly_acked: u64) {
+        for _ in 0..newly_acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
+    }
+
+    fn enter_fast_retransmit(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.stats.fast_retransmits += 1;
+        self.last_reduction = Some(ReductionRecord {
+            prior_cwnd: self.cwnd,
+            prior_ssthresh: self.ssthresh,
+            seq: self.snd_una,
+            dupacks: self.dupacks,
+            was_timeout: false,
+        });
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+        self.cwnd = self.ssthresh + self.dupacks as f64;
+        self.state = RenoState::Recovery { recover: self.snd_nxt };
+        self.limited_transmit_credit = 0;
+        // An adjusted dupthresh must stay reachable within the reduced
+        // window (Blanton–Allman keep it below 90% of cwnd).
+        let cap = (0.9 * self.ssthresh).max(3.0) as u32;
+        self.cfg.dupthresh = self.cfg.dupthresh.min(cap).max(1);
+        let una = self.snd_una;
+        self.retransmit(una, out);
+        self.arm_rto(now, out);
+    }
+
+    fn handle_new_ack(&mut self, ack: &AckEvent, now: SimTime, out: &mut SenderOutput) {
+        let newly = ack.cum_ack - self.snd_una;
+        self.stats.acked_segments += newly;
+        self.snd_una = ack.cum_ack;
+        // A pre-timeout packet may be acknowledged after a go-back-N rewind.
+        self.snd_nxt = self.snd_nxt.max(ack.cum_ack);
+        self.dupacks = 0;
+        self.limited_transmit_credit = 0;
+        self.retransmitted.retain(|&s| s >= ack.cum_ack);
+        if ack.echo_tx_count == 1 {
+            self.rto.on_sample(now.saturating_since(ack.echo_timestamp));
+        }
+        match self.state {
+            RenoState::Recovery { recover } if ack.cum_ack >= recover => {
+                // Full ACK: deflate and leave recovery.
+                self.cwnd = self.ssthresh;
+                self.state = RenoState::Open;
+            }
+            RenoState::Recovery { .. } => {
+                if self.cfg.newreno {
+                    // Partial ACK: retransmit the next hole, deflate by the
+                    // amount acked, inflate by one (RFC 2582).
+                    self.stats.partial_acks += 1;
+                    let una = self.snd_una;
+                    self.retransmit(una, out);
+                    self.cwnd = (self.cwnd - newly as f64 + 1.0).max(1.0);
+                } else {
+                    // Plain Reno leaves recovery on any new ACK.
+                    self.cwnd = self.ssthresh;
+                    self.state = RenoState::Open;
+                    self.grow(newly.saturating_sub(1));
+                }
+            }
+            RenoState::Open => self.grow(newly),
+        }
+        self.send_new_data(now, out);
+        self.arm_rto(now, out);
+    }
+
+    fn handle_dupack(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if self.flight() == 0 {
+            return;
+        }
+        self.dupacks += 1;
+        self.stats.dupacks += 1;
+        match self.state {
+            RenoState::Open => {
+                if self.dupacks >= self.cfg.dupthresh && self.snd_una >= self.fr_allowed_from {
+                    self.enter_fast_retransmit(now, out);
+                } else if self.cfg.limited_transmit && self.dupacks <= 2 {
+                    self.limited_transmit_credit += 1;
+                    self.send_new_data(now, out);
+                }
+            }
+            RenoState::Recovery { .. } => {
+                // Window inflation: each dupack signals a departure.
+                self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_cwnd + self.cfg.dupthresh as f64);
+                self.send_new_data(now, out);
+            }
+        }
+    }
+}
+
+impl TcpSenderAlgo for RenoSender {
+    fn on_start(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.send_new_data(now, out);
+        self.arm_rto(now, out);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, now: SimTime, out: &mut SenderOutput) {
+        if ack.cum_ack > self.snd_una {
+            self.handle_new_ack(ack, now, out);
+        } else if ack.dup {
+            self.handle_dupack(now, out);
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if self.flight() == 0 {
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.last_reduction = Some(ReductionRecord {
+            prior_cwnd: self.cwnd,
+            prior_ssthresh: self.ssthresh,
+            seq: self.snd_una,
+            dupacks: self.dupacks,
+            was_timeout: true,
+        });
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.dupacks = 0;
+        self.state = RenoState::Open;
+        self.fr_allowed_from = self.highest_sent;
+        self.rto.backoff();
+        // Go-back-N: everything in flight is presumed lost; the window
+        // refills sequentially from snd_una (ns-2 `t_seqno_ = highest_ack_`).
+        self.snd_nxt = self.snd_una;
+        self.limited_transmit_credit = 0;
+        self.send_new_data(now, out);
+        self.arm_rto(now, out);
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.newreno {
+            "TCP-NewReno"
+        } else {
+            "TCP-Reno"
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.flight() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn at(ms_: u64) -> SimTime {
+        SimTime::ZERO + ms(ms_)
+    }
+
+    fn ack_at(cum: u64, sent: SimTime) -> AckEvent {
+        AckEvent {
+            cum_ack: cum,
+            sack: Vec::new(),
+            dsack: None,
+            echo_timestamp: sent,
+            echo_tx_count: 1,
+            dup: false,
+        }
+    }
+
+    fn dupack(cum: u64) -> AckEvent {
+        AckEvent { dup: true, ..ack_at(cum, SimTime::ZERO) }
+    }
+
+    #[test]
+    fn slow_start_growth() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        assert_eq!(out.transmissions().len(), 1);
+        out.clear();
+        s.on_ack(&ack_at(1, SimTime::ZERO), at(100), &mut out);
+        assert_eq!(s.cwnd(), 2.0);
+        assert_eq!(out.transmissions().len(), 2);
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        // Grow to a sizeable window.
+        let mut now = SimTime::ZERO;
+        for cum in 1..=8 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        let flight = s.in_flight() as f64;
+        assert!(flight >= 8.0);
+        for _ in 0..2 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+            assert!(out.transmissions().is_empty());
+        }
+        s.on_ack(&dupack(8), now + ms(2), &mut out);
+        assert_eq!(s.stats().fast_retransmits, 1);
+        let rtx: Vec<_> = out.transmissions().iter().filter(|t| t.is_retransmit).collect();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].seq, 8);
+        assert!((s.ssthresh() - flight / 2.0).abs() < 1e-9);
+        assert!(matches!(s.state(), RenoState::Recovery { .. }));
+    }
+
+    #[test]
+    fn recovery_inflation_sends_new_data() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=8 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        out.clear();
+        // Enough extra dupacks inflate the window past flight: new data.
+        let mut sent_new = false;
+        for i in 0..10 {
+            s.on_ack(&dupack(8), now + ms(2 + i), &mut out);
+            if out.transmissions().iter().any(|t| !t.is_retransmit) {
+                sent_new = true;
+            }
+            out.clear();
+        }
+        assert!(sent_new, "inflation must eventually release new segments");
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=8 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        out.clear();
+        // Partial ACK: hole at 10 (recovery covers up to snd_nxt).
+        s.on_ack(&ack_at(10, now), now + ms(5), &mut out);
+        assert!(matches!(s.state(), RenoState::Recovery { .. }), "partial ACK stays in recovery");
+        let rtx: Vec<_> = out.transmissions().iter().filter(|t| t.is_retransmit).collect();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].seq, 10);
+        assert_eq!(s.stats().partial_acks, 1);
+    }
+
+    #[test]
+    fn reno_exits_recovery_on_any_new_ack() {
+        let mut cfg = RenoConfig::default();
+        cfg.newreno = false;
+        let mut s = RenoSender::new(cfg);
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=8 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        s.on_ack(&ack_at(10, now), now + ms(5), &mut out);
+        assert_eq!(s.state(), RenoState::Open);
+    }
+
+    #[test]
+    fn full_ack_deflates_to_ssthresh() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=8 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        let snd_nxt_at_loss = 8 + s.in_flight() as u64;
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        let ssthresh = s.ssthresh();
+        out.clear();
+        s.on_ack(&ack_at(snd_nxt_at_loss, now), now + ms(50), &mut out);
+        assert_eq!(s.state(), RenoState::Open);
+        assert_eq!(s.cwnd(), ssthresh);
+    }
+
+    #[test]
+    fn timeout_resets_to_one_and_backs_off() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        s.on_timer(at(3000), &mut out);
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(s.stats().timeouts, 1);
+        let rtx: Vec<_> = out.transmissions().iter().filter(|t| t.is_retransmit).collect();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].seq, 0);
+        // Timer re-armed with backoff (6 s after a 3 s initial RTO).
+        match out.timer() {
+            transport::sender::TimerOp::Set(t) => {
+                assert_eq!(t, at(3000) + SimDuration::from_secs(6));
+            }
+            other => panic!("expected re-armed timer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_fast_retransmit_right_after_timeout() {
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=4 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        s.on_timer(now + SimDuration::from_secs(5), &mut out);
+        out.clear();
+        // Dupacks for pre-timeout data must not re-enter fast retransmit.
+        for i in 0..5 {
+            s.on_ack(&dupack(4), now + SimDuration::from_secs(5) + ms(i), &mut out);
+        }
+        assert_eq!(s.stats().fast_retransmits, 0);
+    }
+
+    #[test]
+    fn timeout_goes_back_n() {
+        // Grow, then let everything time out: the refill must restart from
+        // snd_una and mark the resent segments as retransmissions.
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=4 {
+            now = now + ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        s.on_timer(now + SimDuration::from_secs(5), &mut out);
+        // cwnd = 1 → exactly one segment goes out: the oldest hole.
+        assert_eq!(out.transmissions().len(), 1);
+        assert_eq!(out.transmissions()[0].seq, 4);
+        assert!(out.transmissions()[0].is_retransmit);
+        out.clear();
+        // The ACK for it releases the *next* previously-sent segments,
+        // also flagged as retransmissions.
+        s.on_ack(&ack_at(5, now), now + SimDuration::from_secs(6), &mut out);
+        assert!(!out.transmissions().is_empty());
+        assert!(
+            out.transmissions().iter().all(|t| t.is_retransmit),
+            "go-back-N refill resends old sequence numbers"
+        );
+    }
+
+    #[test]
+    fn post_timeout_ack_beyond_rewound_nxt_is_safe() {
+        // A pre-timeout packet can be acknowledged after the rewind; the
+        // sender must not underflow its flight accounting.
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=4 {
+            now = now + ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        let nxt_before = s.snd_nxt;
+        s.on_timer(now + SimDuration::from_secs(5), &mut out);
+        out.clear();
+        // Everything that was in flight pre-timeout gets acked at once.
+        s.on_ack(&ack_at(nxt_before, now), now + SimDuration::from_secs(5) + ms(1), &mut out);
+        assert_eq!(s.in_flight(), out.transmissions().len());
+        assert!(s.cwnd() >= 1.0);
+    }
+
+    #[test]
+    fn limited_transmit_sends_on_first_two_dupacks() {
+        let mut cfg = RenoConfig::default();
+        cfg.limited_transmit = true;
+        let mut s = RenoSender::new(cfg);
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=4 {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        s.on_ack(&dupack(4), now + ms(1), &mut out);
+        assert_eq!(out.transmissions().len(), 1, "limited transmit releases one segment");
+        assert!(!out.transmissions()[0].is_retransmit);
+        out.clear();
+        s.on_ack(&dupack(4), now + ms(2), &mut out);
+        assert_eq!(out.transmissions().len(), 1);
+    }
+
+    #[test]
+    fn dupacks_with_nothing_outstanding_ignored() {
+        // Before anything is sent, stray dupacks must be ignored.
+        let mut s = RenoSender::new(RenoConfig::default());
+        let mut out = SenderOutput::new();
+        for _ in 0..5 {
+            s.on_ack(&dupack(0), at(30), &mut out);
+        }
+        assert_eq!(s.stats().fast_retransmits, 0);
+        assert_eq!(s.stats().dupacks, 0);
+        assert!(out.transmissions().is_empty());
+    }
+}

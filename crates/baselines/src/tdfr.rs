@@ -1,0 +1,455 @@
+//! TD-FR: time-delayed fast recovery (Paxson \[18\], analyzed by
+//! Blanton–Allman \[3\]).
+//!
+//! A NewReno-style sender that does **not** fire fast retransmit on the
+//! third duplicate ACK. Instead it starts a timer at the *first* duplicate
+//! ACK and retransmits only if duplicate ACKs persist for
+//! `max(RTT/2, DT)`, where `DT` is the spacing between the first and third
+//! duplicate ACK. Mild reordering resolves within the wait; persistent
+//! reordering with long RTTs still defeats it (the paper's Figure 6, right
+//! panel).
+
+use std::collections::HashSet;
+
+use netsim::time::{SimDuration, SimTime};
+use transport::rto::RtoEstimator;
+use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+
+/// Configuration for [`TdFrSender`].
+#[derive(Debug, Clone)]
+pub struct TdFrConfig {
+    /// Upper bound on the congestion window, in segments.
+    pub max_cwnd: f64,
+    /// Initial slow-start threshold, in segments.
+    pub initial_ssthresh: f64,
+    /// Retransmission-timeout estimator.
+    pub rto: RtoEstimator,
+    /// RFC 3042 limited transmit (the paper notes TD-FR relies on it to
+    /// reduce burstiness).
+    pub limited_transmit: bool,
+    /// Fallback wait when no RTT sample exists yet.
+    pub default_wait: SimDuration,
+}
+
+impl Default for TdFrConfig {
+    fn default() -> Self {
+        TdFrConfig {
+            max_cwnd: 10_000.0,
+            initial_ssthresh: 128.0,
+            rto: RtoEstimator::rfc2988(),
+            limited_transmit: true,
+            default_wait: SimDuration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Open,
+    Recovery { recover: u64 },
+}
+
+/// Pending duplicate-ACK episode.
+#[derive(Debug, Clone, Copy)]
+struct DupEpisode {
+    first_at: SimTime,
+    deadline: SimTime,
+    count: u32,
+}
+
+/// Event counters for [`TdFrSender`].
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct TdFrStats {
+    /// Delayed fast retransmits that actually fired.
+    pub delayed_fast_retransmits: u64,
+    /// Duplicate-ACK episodes cancelled by a cumulative advance (reordering
+    /// absorbed without a retransmission).
+    pub cancelled_episodes: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Segments acknowledged.
+    pub acked_segments: u64,
+}
+
+/// The TD-FR sender.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::tdfr::{TdFrConfig, TdFrSender};
+/// use transport::sender::{SenderOutput, TcpSenderAlgo};
+/// use netsim::time::SimTime;
+///
+/// let mut s = TdFrSender::new(TdFrConfig::default());
+/// let mut out = SenderOutput::new();
+/// s.on_start(SimTime::ZERO, &mut out);
+/// assert_eq!(s.cwnd(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct TdFrSender {
+    cfg: TdFrConfig,
+    cwnd: f64,
+    ssthresh: f64,
+    snd_una: u64,
+    snd_nxt: u64,
+    state: State,
+    rto: RtoEstimator,
+    rto_deadline: Option<SimTime>,
+    episode: Option<DupEpisode>,
+    limited_transmit_credit: u64,
+    retransmitted: HashSet<u64>,
+    fr_allowed_from: u64,
+    highest_sent: u64,
+    stats: TdFrStats,
+}
+
+impl TdFrSender {
+    /// Creates a sender in slow start with `cwnd = 1`.
+    pub fn new(cfg: TdFrConfig) -> Self {
+        let rto = cfg.rto.clone();
+        let ssthresh = cfg.initial_ssthresh;
+        TdFrSender {
+            cfg,
+            cwnd: 1.0,
+            ssthresh,
+            snd_una: 0,
+            snd_nxt: 0,
+            state: State::Open,
+            rto,
+            rto_deadline: None,
+            episode: None,
+            limited_transmit_credit: 0,
+            retransmitted: HashSet::new(),
+            fr_allowed_from: 0,
+            highest_sent: 0,
+            stats: TdFrStats::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> TdFrStats {
+        self.stats
+    }
+
+    /// The wait threshold `max(RTT/2, DT)` for the current episode.
+    fn wait_threshold(&self, dt: Option<SimDuration>) -> SimDuration {
+        let half_rtt = self.rto.srtt().map(|s| s / 2).unwrap_or(self.cfg.default_wait);
+        match dt {
+            Some(d) => half_rtt.max(d),
+            None => half_rtt,
+        }
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn send_new_data(&mut self, out: &mut SenderOutput) {
+        let window = self.cwnd.min(self.cfg.max_cwnd);
+        while (self.flight() as f64) < window + self.limited_transmit_credit as f64 {
+            // Go-back-N refill after a timeout: below highest_sent means
+            // retransmission.
+            let is_rtx = self.snd_nxt < self.highest_sent;
+            if is_rtx {
+                self.retransmitted.insert(self.snd_nxt);
+            }
+            out.transmit(self.snd_nxt, is_rtx);
+            self.snd_nxt += 1;
+            self.highest_sent = self.highest_sent.max(self.snd_nxt);
+        }
+    }
+
+    fn arm_timer(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.rto_deadline = if self.flight() > 0 { Some(now + self.rto.rto()) } else { None };
+        self.rearm(out);
+    }
+
+    /// Programs the host's single timer to the earliest pending deadline.
+    fn rearm(&self, out: &mut SenderOutput) {
+        let fr = self.episode.map(|e| e.deadline);
+        let deadline = match (self.rto_deadline, fr) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match deadline {
+            Some(d) => out.set_timer(d),
+            None => out.cancel_timer(),
+        }
+    }
+
+    fn grow(&mut self, newly_acked: u64) {
+        for _ in 0..newly_acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
+    }
+
+    fn fire_delayed_fast_retransmit(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.stats.delayed_fast_retransmits += 1;
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.state = State::Recovery { recover: self.snd_nxt };
+        self.limited_transmit_credit = 0;
+        out.transmit(self.snd_una, true);
+        self.retransmitted.insert(self.snd_una);
+        self.episode = None;
+        self.arm_timer(now, out);
+    }
+}
+
+impl TcpSenderAlgo for TdFrSender {
+    fn on_start(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.send_new_data(out);
+        self.arm_timer(now, out);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, now: SimTime, out: &mut SenderOutput) {
+        if ack.cum_ack > self.snd_una {
+            let newly = ack.cum_ack - self.snd_una;
+            self.stats.acked_segments += newly;
+            self.snd_una = ack.cum_ack;
+            // A pre-timeout packet may be acknowledged after a go-back-N
+            // rewind.
+            self.snd_nxt = self.snd_nxt.max(ack.cum_ack);
+            self.retransmitted.retain(|&s| s >= ack.cum_ack);
+            self.limited_transmit_credit = 0;
+            if self.episode.take().is_some() {
+                self.stats.cancelled_episodes += 1;
+            }
+            if ack.echo_tx_count == 1 {
+                self.rto.on_sample(now.saturating_since(ack.echo_timestamp));
+            }
+            match self.state {
+                State::Recovery { recover } if ack.cum_ack >= recover => {
+                    self.cwnd = self.ssthresh;
+                    self.state = State::Open;
+                }
+                State::Recovery { .. } => {
+                    // Partial ACK: NewReno-style next-hole retransmission.
+                    out.transmit(self.snd_una, true);
+                    self.retransmitted.insert(self.snd_una);
+                    self.cwnd = (self.cwnd - newly as f64 + 1.0).max(1.0);
+                }
+                State::Open => self.grow(newly),
+            }
+            self.send_new_data(out);
+            self.arm_timer(now, out);
+        } else if ack.dup && self.flight() > 0 {
+            match self.state {
+                State::Open => {
+                    if self.snd_una < self.fr_allowed_from {
+                        return;
+                    }
+                    match self.episode {
+                        None => {
+                            let deadline = now + self.wait_threshold(None);
+                            self.episode = Some(DupEpisode { first_at: now, deadline, count: 1 });
+                        }
+                        Some(ep) => {
+                            let count = ep.count + 1;
+                            let mut deadline = ep.deadline;
+                            if count == 3 {
+                                // DT known: re-derive the deadline.
+                                let dt = now.saturating_since(ep.first_at);
+                                deadline = ep.first_at + self.wait_threshold(Some(dt));
+                            }
+                            self.episode =
+                                Some(DupEpisode { first_at: ep.first_at, deadline, count });
+                            if count >= 3 && deadline <= now {
+                                self.fire_delayed_fast_retransmit(now, out);
+                                return;
+                            }
+                        }
+                    }
+                    if self.cfg.limited_transmit
+                        && self.episode.is_some_and(|e| e.count <= 2)
+                    {
+                        self.limited_transmit_credit += 1;
+                        self.send_new_data(out);
+                    }
+                    self.rearm(out);
+                }
+                State::Recovery { .. } => {
+                    // Window inflation while recovering.
+                    self.cwnd += 1.0;
+                    self.send_new_data(out);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if let Some(ep) = self.episode {
+            if ep.deadline <= now {
+                // Duplicate ACKs persisted past the threshold: retransmit.
+                self.fire_delayed_fast_retransmit(now, out);
+                return;
+            }
+        }
+        if let Some(d) = self.rto_deadline {
+            if d <= now && self.flight() > 0 {
+                self.stats.timeouts += 1;
+                self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+                self.cwnd = 1.0;
+                self.state = State::Open;
+                self.episode = None;
+                self.fr_allowed_from = self.highest_sent;
+                self.rto.backoff();
+                // Go-back-N: refill sequentially from snd_una.
+                self.snd_nxt = self.snd_una;
+                self.limited_transmit_credit = 0;
+                self.send_new_data(out);
+                self.arm_timer(now, out);
+                return;
+            }
+        }
+        self.rearm(out);
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "TD-FR"
+    }
+
+    fn in_flight(&self) -> usize {
+        self.flight() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn ack(cum: u64, sent: SimTime) -> AckEvent {
+        AckEvent {
+            cum_ack: cum,
+            sack: Vec::new(),
+            dsack: None,
+            echo_timestamp: sent,
+            echo_tx_count: 1,
+            dup: false,
+        }
+    }
+
+    fn dupack(cum: u64) -> AckEvent {
+        AckEvent { dup: true, ..ack(cum, SimTime::ZERO) }
+    }
+
+    /// Grow with 100 ms RTT so srtt ≈ 100 ms.
+    fn grow(s: &mut TdFrSender, rounds: u64) -> SimTime {
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        let mut now = SimTime::ZERO;
+        for _ in 0..rounds {
+            now += ms(100);
+            let cum = s.snd_una + 1;
+            out.clear();
+            s.on_ack(&ack(cum, now - ms(100)), now, &mut out);
+        }
+        now
+    }
+
+    #[test]
+    fn three_dupacks_do_not_fire_immediately() {
+        let mut s = TdFrSender::new(TdFrConfig::default());
+        let now = grow(&mut s, 8);
+        let una = s.snd_una;
+        let mut out = SenderOutput::new();
+        // Three rapid dupacks (1 ms apart): DT = 2 ms < RTT/2 = 50 ms.
+        for i in 0..3 {
+            out.clear();
+            s.on_ack(&dupack(una), now + ms(1 + i), &mut out);
+        }
+        assert_eq!(s.stats().delayed_fast_retransmits, 0, "must wait RTT/2");
+        assert!(!out.transmissions().iter().any(|t| t.is_retransmit));
+    }
+
+    #[test]
+    fn persistent_dupacks_fire_after_wait() {
+        let mut s = TdFrSender::new(TdFrConfig::default());
+        let now = grow(&mut s, 8);
+        let una = s.snd_una;
+        let mut out = SenderOutput::new();
+        for i in 0..3 {
+            out.clear();
+            s.on_ack(&dupack(una), now + ms(1 + i), &mut out);
+        }
+        out.clear();
+        // Timer fires past first_at + RTT/2 (≈ now + 1 + 50 ms).
+        s.on_timer(now + ms(60), &mut out);
+        assert_eq!(s.stats().delayed_fast_retransmits, 1);
+        assert!(out.transmissions().iter().any(|t| t.is_retransmit && t.seq == una));
+    }
+
+    #[test]
+    fn cum_advance_cancels_episode() {
+        let mut s = TdFrSender::new(TdFrConfig::default());
+        let now = grow(&mut s, 8);
+        let una = s.snd_una;
+        let mut out = SenderOutput::new();
+        for i in 0..3 {
+            out.clear();
+            s.on_ack(&dupack(una), now + ms(1 + i), &mut out);
+        }
+        out.clear();
+        // Reordered segment lands: cumulative ACK advances before deadline.
+        s.on_ack(&ack(una + 4, now), now + ms(10), &mut out);
+        assert_eq!(s.stats().cancelled_episodes, 1);
+        out.clear();
+        // A later timer fire must not retransmit.
+        s.on_timer(now + ms(60), &mut out);
+        assert_eq!(s.stats().delayed_fast_retransmits, 0);
+    }
+
+    #[test]
+    fn slow_dupacks_stretch_the_wait() {
+        let mut s = TdFrSender::new(TdFrConfig::default());
+        let now = grow(&mut s, 8);
+        let una = s.snd_una;
+        let mut out = SenderOutput::new();
+        // First and third dupack 200 ms apart: DT = 200 ms > RTT/2.
+        s.on_ack(&dupack(una), now + ms(1), &mut out);
+        s.on_ack(&dupack(una), now + ms(100), &mut out);
+        out.clear();
+        s.on_ack(&dupack(una), now + ms(201), &mut out);
+        // Deadline = first_at + 200 ms = now + 201: already reached → fires.
+        assert_eq!(s.stats().delayed_fast_retransmits, 1);
+    }
+
+    #[test]
+    fn rto_still_works() {
+        let mut s = TdFrSender::new(TdFrConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        s.on_timer(SimTime::ZERO + SimDuration::from_secs(3), &mut out);
+        assert_eq!(s.stats().timeouts, 1);
+        assert_eq!(s.cwnd(), 1.0);
+    }
+
+    #[test]
+    fn limited_transmit_releases_segments() {
+        let mut s = TdFrSender::new(TdFrConfig::default());
+        let now = grow(&mut s, 4);
+        let una = s.snd_una;
+        let mut out = SenderOutput::new();
+        s.on_ack(&dupack(una), now + ms(1), &mut out);
+        assert_eq!(out.transmissions().len(), 1);
+        assert!(!out.transmissions()[0].is_retransmit);
+    }
+}

@@ -1,0 +1,25 @@
+//! Ablation bench: TCP-PR with each design mechanism removed (memorize
+//! list, extreme-loss handling, send-time window snapshot), over the same
+//! congested dumbbell. Prints the comparison table once, then times the
+//! baseline and the most expensive ablation.
+
+use bench::bench_plan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::ablations::{format_table, run_ablation, run_all, Ablation};
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("\n{}", format_table(&run_all(bench_plan(), 3)));
+    let mut group = c.benchmark_group("tcp_pr_ablations");
+    group.sample_size(10);
+    for ablation in [Ablation::None, Ablation::NoMemorize] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ablation:?}")),
+            &ablation,
+            |b, &a| b.iter(|| run_ablation(a, bench_plan(), 3)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

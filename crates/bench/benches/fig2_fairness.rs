@@ -1,0 +1,37 @@
+//! Figure 2 bench: TCP-PR vs TCP-SACK fairness over dumbbell and
+//! parking-lot topologies. Prints the paper-style rows once, then times a
+//! representative run per topology.
+//!
+//! Full-scale reproduction: `cargo run -p experiments --bin repro --release -- fig2`.
+
+use bench::bench_plan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::fairness::{run_fairness, FairnessParams, FairnessTopology};
+use experiments::figures::fig2;
+use experiments::topologies::{DumbbellConfig, ParkingLotConfig};
+
+fn print_reference_rows() {
+    let series = fig2::run_figure2(bench_plan(), 1, &[2, 8, 16]);
+    println!("\n{}", fig2::format_table(&series));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_reference_rows();
+    let mut group = c.benchmark_group("fig2_fairness");
+    group.sample_size(10);
+    for (label, topology) in [
+        ("dumbbell", FairnessTopology::Dumbbell(DumbbellConfig::default())),
+        ("parking-lot", FairnessTopology::ParkingLot(ParkingLotConfig::default())),
+    ] {
+        group.bench_with_input(BenchmarkId::new("8_flows", label), &topology, |b, t| {
+            b.iter(|| {
+                let params = FairnessParams { plan: bench_plan(), seed: 1, ..Default::default() };
+                run_fairness(*t, 8, &params)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 3 bench: coefficient of variation vs loss rate (loss induced by
+//! shrinking the bottleneck). Prints the paper-style series once, then times
+//! one sweep point.
+//!
+//! Full-scale reproduction: `cargo run -p experiments --bin repro --release -- fig3`.
+
+use bench::bench_plan;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::fig3;
+
+fn print_reference_rows() {
+    let pts = fig3::run_figure3(true, &[20.0, 8.0], &[1, 2], 8, bench_plan());
+    println!("\n{}", fig3::format_table(&pts));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_reference_rows();
+    let mut group = c.benchmark_group("fig3_cov");
+    group.sample_size(10);
+    group.bench_function("dumbbell_8flows_one_bw", |b| {
+        b.iter(|| fig3::run_figure3(true, &[8.0], &[1], 8, bench_plan()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

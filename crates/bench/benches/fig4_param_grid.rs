@@ -1,0 +1,26 @@
+//! Figure 4 bench: the TCP-PR (α, β) parameter grid against TCP-SACK.
+//! Prints a reduced grid once, then times one cell.
+//!
+//! Full-scale reproduction: `cargo run -p experiments --bin repro --release -- fig4`.
+
+use bench::bench_plan;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::fig4;
+
+fn print_reference_rows() {
+    let cells = fig4::run_figure4(true, &[0.25, 0.995], &[1.0, 3.0], 8, bench_plan(), 1);
+    println!("\n{}", fig4::format_table(&cells));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_reference_rows();
+    let mut group = c.benchmark_group("fig4_param_grid");
+    group.sample_size(10);
+    group.bench_function("one_cell_alpha995_beta3", |b| {
+        b.iter(|| fig4::run_figure4(true, &[0.995], &[3.0], 8, bench_plan(), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 6 bench: throughput under ε-multipath routing for all six
+//! protocols. Prints the paper-style table once (reduced ε set), then times
+//! the two headline cells.
+//!
+//! Full-scale reproduction: `cargo run -p experiments --bin repro --release -- fig6`.
+
+use bench::bench_plan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::fig6;
+use experiments::topologies::MeshConfig;
+use experiments::variants::Variant;
+
+fn print_reference_rows() {
+    let pts = fig6::run_figure6(10, &Variant::FIGURE6, &[0.0, 500.0], bench_plan(), 1);
+    println!("\n{}", fig6::format_table(&pts));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    print_reference_rows();
+    let mut group = c.benchmark_group("fig6_multipath");
+    group.sample_size(10);
+    for (variant, eps) in [(Variant::TcpPr, 0.0), (Variant::DsackNm, 0.0), (Variant::TcpPr, 500.0)] {
+        group.bench_with_input(
+            BenchmarkId::new(variant.label().replace(' ', "_"), format!("eps{eps}")),
+            &(variant, eps),
+            |b, &(v, e)| {
+                b.iter(|| fig6::run_multipath_point(v, e, MeshConfig::default(), bench_plan(), 1))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

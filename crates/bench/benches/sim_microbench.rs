@@ -1,0 +1,77 @@
+//! Microbenchmarks of the simulator substrate itself: event throughput,
+//! and the TCP-PR sender's per-ACK cost (including the Newton iteration for
+//! `α^(1/cwnd)`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::time::SimTime;
+use netsim::{FlowId, LinkConfig, SimBuilder};
+use tcp_pr::ewrtt::alpha_root;
+use tcp_pr::{TcpPrConfig, TcpPrSender};
+use transport::fixed_window::FixedWindowSender;
+use transport::host::{attach_flow, FlowOptions};
+use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core");
+    group.sample_size(20);
+    group.bench_function("one_second_fixed_window_flow", |b| {
+        b.iter(|| {
+            let mut builder = SimBuilder::new(1);
+            let src = builder.add_node();
+            let dst = builder.add_node();
+            builder.add_duplex(src, dst, LinkConfig::mbps_ms(100.0, 5, 1000));
+            let mut sim = builder.build();
+            let algo = FixedWindowSender::new(64, netsim::time::SimDuration::from_secs(1));
+            attach_flow(&mut sim, FlowId::from_raw(0), src, dst, algo, FlowOptions::default());
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            sim.stats().events
+        })
+    });
+    group.bench_function("one_second_tcp_pr_flow", |b| {
+        b.iter(|| {
+            let mut builder = SimBuilder::new(1);
+            let src = builder.add_node();
+            let dst = builder.add_node();
+            builder.add_duplex(src, dst, LinkConfig::mbps_ms(100.0, 5, 1000));
+            let mut sim = builder.build();
+            let algo = TcpPrSender::new(TcpPrConfig::default());
+            attach_flow(&mut sim, FlowId::from_raw(0), src, dst, algo, FlowOptions::default());
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            sim.stats().events
+        })
+    });
+    group.finish();
+}
+
+fn bench_newton(c: &mut Criterion) {
+    c.bench_function("alpha_root_newton_2iter", |b| {
+        b.iter(|| alpha_root(std::hint::black_box(0.995), std::hint::black_box(37.0), 2))
+    });
+}
+
+fn bench_sender_ack_path(c: &mut Criterion) {
+    c.bench_function("tcp_pr_on_ack", |b| {
+        let mut s = TcpPrSender::new(TcpPrConfig::default());
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        let mut now = SimTime::ZERO;
+        let mut cum = 0u64;
+        b.iter(|| {
+            now += netsim::time::SimDuration::from_micros(100);
+            cum += 1;
+            let ack = AckEvent {
+                cum_ack: cum,
+                sack: Vec::new(),
+                dsack: None,
+                echo_timestamp: now,
+                echo_tx_count: 1,
+                dup: false,
+            };
+            out.clear();
+            s.on_ack(&ack, now, &mut out);
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_loop, bench_newton, bench_sender_ack_path);
+criterion_main!(benches);

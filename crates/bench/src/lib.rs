@@ -1,0 +1,23 @@
+//! Benchmark support: shared scaled-down configurations so the Criterion
+//! benches (one per paper figure) finish in minutes while preserving each
+//! experiment's structure. The full-scale tables are produced by
+//! `cargo run -p experiments --bin repro --release`.
+
+use experiments::runner::MeasurePlan;
+use netsim::time::SimDuration;
+
+/// The measurement plan used by the benches: long enough to exit slow start,
+/// short enough for Criterion's repeated sampling.
+pub fn bench_plan() -> MeasurePlan {
+    MeasurePlan { warmup: SimDuration::from_secs(5), window: SimDuration::from_secs(5) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_plan_is_short() {
+        assert!(bench_plan().total() <= SimDuration::from_secs(15));
+    }
+}

@@ -1,0 +1,123 @@
+//! Regenerates every table/figure of the TCP-PR paper's evaluation.
+//!
+//! ```text
+//! cargo run -p experiments --bin repro --release -- [fig2|fig3|fig4|fig6|all] [--quick]
+//! ```
+//!
+//! Prints the paper-style tables to stdout and writes machine-readable JSON
+//! into `results/`.
+
+use std::fs;
+use std::time::Instant;
+
+use experiments::figures::{fig2, fig3, fig4, fig6};
+use experiments::runner::MeasurePlan;
+use experiments::variants::Variant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let plan = if quick { MeasurePlan::quick() } else { MeasurePlan::default() };
+    fs::create_dir_all("results").expect("create results dir");
+
+    if all || which.contains(&"fig2") {
+        let t0 = Instant::now();
+        let counts: &[usize] = if quick { &[2, 8, 16] } else { &fig2::FLOW_COUNTS };
+        let series = fig2::run_figure2(plan, 1, counts);
+        println!("{}", fig2::format_table(&series));
+        fs::write("results/fig2.json", serde_json::to_string_pretty(&series).unwrap()).unwrap();
+        eprintln!("[fig2 done in {:.1?}]", t0.elapsed());
+    }
+
+    if all || which.contains(&"fig3") {
+        let t0 = Instant::now();
+        // Smaller bottlenecks ⇒ higher loss (the paper's 4–13% band).
+        let bandwidths: &[f64] = if quick { &[20.0, 8.0] } else { &[25.0, 18.0, 12.0, 8.0, 5.0] };
+        let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] };
+        let n_flows = if quick { 16 } else { 64 };
+        let mut points = fig3::run_figure3(true, bandwidths, seeds, n_flows, plan);
+        let backbone: Vec<f64> = bandwidths.iter().map(|b| b * 0.6).collect();
+        points.extend(fig3::run_figure3(false, &backbone, seeds, n_flows, plan));
+        println!("{}", fig3::format_table(&points));
+        fs::write("results/fig3.json", serde_json::to_string_pretty(&points).unwrap()).unwrap();
+        eprintln!("[fig3 done in {:.1?}]", t0.elapsed());
+    }
+
+    if all || which.contains(&"fig4") {
+        let t0 = Instant::now();
+        let alphas: &[f64] = if quick { &[0.25, 0.995] } else { &fig4::ALPHAS };
+        let betas: &[f64] = if quick { &[1.0, 3.0] } else { &fig4::BETAS };
+        let n_flows = if quick { 8 } else { 64 };
+        for dumbbell in [true, false] {
+            let cells = fig4::run_figure4(dumbbell, alphas, betas, n_flows, plan, 1);
+            println!(
+                "[{} topology]\n{}",
+                if dumbbell { "dumbbell" } else { "parking-lot" },
+                fig4::format_table(&cells)
+            );
+            let name = if dumbbell { "results/fig4_dumbbell.json" } else { "results/fig4_parkinglot.json" };
+            fs::write(name, serde_json::to_string_pretty(&cells).unwrap()).unwrap();
+        }
+        eprintln!("[fig4 done in {:.1?}]", t0.elapsed());
+    }
+
+    if which.contains(&"ext") {
+        // Extensions: route flaps and MANET churn (not paper figures; not
+        // part of `all`).
+        let t0 = Instant::now();
+        let variants = [
+            experiments::Variant::TcpPr,
+            experiments::Variant::Sack,
+            experiments::Variant::NewReno,
+            experiments::Variant::Eifel,
+            experiments::Variant::Door,
+        ];
+        let flap = experiments::routeflap::run_comparison(
+            &variants,
+            experiments::routeflap::RouteFlapConfig::default(),
+            plan,
+            1,
+        );
+        println!("{}", experiments::routeflap::format_table(&flap));
+        fs::write("results/routeflap.json", serde_json::to_string_pretty(&flap).unwrap())
+            .unwrap();
+        let churn: Vec<_> = variants
+            .iter()
+            .map(|&v| {
+                experiments::manet::run_churn(
+                    v,
+                    experiments::manet::ChurnConfig::default(),
+                    plan,
+                    1,
+                )
+            })
+            .collect();
+        println!("{}", experiments::manet::format_table(&churn));
+        fs::write("results/manet.json", serde_json::to_string_pretty(&churn).unwrap()).unwrap();
+        eprintln!("[ext done in {:.1?}]", t0.elapsed());
+    }
+
+    if all || which.contains(&"ablations") {
+        let t0 = Instant::now();
+        let results = experiments::ablations::run_all(plan, 1);
+        println!("{}", experiments::ablations::format_table(&results));
+        fs::write("results/ablations.json", serde_json::to_string_pretty(&results).unwrap())
+            .unwrap();
+        eprintln!("[ablations done in {:.1?}]", t0.elapsed());
+    }
+
+    if all || which.contains(&"fig6") {
+        let t0 = Instant::now();
+        let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
+        let variants: &[Variant] = &Variant::FIGURE6;
+        for delay in [10u64, 60u64] {
+            let points = fig6::run_figure6(delay, variants, epsilons, plan, 1);
+            println!("{}", fig6::format_table(&points));
+            let name = format!("results/fig6_{delay}ms.json");
+            fs::write(name, serde_json::to_string_pretty(&points).unwrap()).unwrap();
+        }
+        eprintln!("[fig6 done in {:.1?}]", t0.elapsed());
+    }
+}

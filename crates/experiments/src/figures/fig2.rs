@@ -1,0 +1,88 @@
+//! Figure 2: TCP-PR vs TCP-SACK fairness as the number of flows grows.
+//!
+//! The paper plots, for each total flow count (up to 64, half TCP-PR and
+//! half TCP-SACK with α = 0.995 and β = 3), every flow's normalized
+//! throughput plus the per-protocol means, on both the dumbbell and the
+//! parking-lot topologies. The reproduction criterion is that both protocol
+//! means sit near 1 across the sweep.
+
+use crate::figures::fairness::{run_fairness, FairnessParams, FairnessResult, FairnessTopology};
+use crate::runner::MeasurePlan;
+use crate::topologies::{DumbbellConfig, ParkingLotConfig};
+
+/// The flow counts swept by the paper's Figure 2.
+pub const FLOW_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+/// One series of Figure 2 (one topology, sweep over flow counts).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig2Series {
+    /// Topology label.
+    pub topology: String,
+    /// One fairness result per flow count.
+    pub rows: Vec<FairnessResult>,
+}
+
+/// Runs Figure 2 for both topologies.
+pub fn run_figure2(plan: MeasurePlan, seed: u64, flow_counts: &[usize]) -> Vec<Fig2Series> {
+    let params = FairnessParams { plan, seed, ..FairnessParams::default() };
+    let topologies = [
+        FairnessTopology::Dumbbell(DumbbellConfig::default()),
+        FairnessTopology::ParkingLot(ParkingLotConfig::default()),
+    ];
+    topologies
+        .iter()
+        .map(|t| Fig2Series {
+            topology: t.label().to_owned(),
+            rows: flow_counts.iter().map(|&n| run_fairness(*t, n, &params)).collect(),
+        })
+        .collect()
+}
+
+/// Renders a series as the paper-style text table.
+pub fn format_table(series: &[Fig2Series]) -> String {
+    let mut s = String::new();
+    for set in series {
+        s.push_str(&format!("Figure 2 — {} topology\n", set.topology));
+        s.push_str("flows | mean T (TCP-PR) | mean T (TCP-SACK) | loss %\n");
+        for row in &set.rows {
+            s.push_str(&format!(
+                "{:5} | {:15.3} | {:17.3} | {:6.2}\n",
+                row.n_flows, row.mean_pr, row.mean_sack, row.loss_rate_pct
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_quick_sweep_is_fair() {
+        let series = run_figure2(MeasurePlan::quick(), 23, &[2, 4]);
+        assert_eq!(series.len(), 2);
+        for set in &series {
+            for row in &set.rows {
+                // Shape criterion: both means near 1 (loose band for the
+                // quick plan).
+                assert!(
+                    row.mean_pr > 0.4 && row.mean_pr < 1.6,
+                    "{}: mean_pr = {}",
+                    set.topology,
+                    row.mean_pr
+                );
+                assert!(
+                    row.mean_sack > 0.4 && row.mean_sack < 1.6,
+                    "{}: mean_sack = {}",
+                    set.topology,
+                    row.mean_sack
+                );
+            }
+        }
+        let table = format_table(&series);
+        assert!(table.contains("dumbbell"));
+        assert!(table.contains("parking-lot"));
+    }
+}

@@ -1,0 +1,15 @@
+//! One harness per paper figure, plus the shared fairness experiment.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fairness`] | the Section 4 experiment shared by Figures 2–4 |
+//! | [`fig2`] | Figure 2 — normalized throughput vs number of flows |
+//! | [`fig3`] | Figure 3 — CoV vs loss rate |
+//! | [`fig4`] | Figure 4 — TCP-SACK share over the (α, β) grid |
+//! | [`fig6`] | Figure 6 — throughput vs ε under multipath routing |
+
+pub mod fairness;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;

@@ -1,0 +1,53 @@
+//! # experiments — the TCP-PR evaluation, reproduced
+//!
+//! Everything needed to regenerate the paper's figures on the `netsim`
+//! substrate:
+//!
+//! - [`topologies`]: the dumbbell, the Figure 1 parking lot (exact
+//!   cross-traffic pairs and access bandwidths) and the Figure 5 multipath
+//!   mesh;
+//! - [`metrics`]: normalized throughput and coefficient of variation
+//!   (Section 4 formulas), plus Jain fairness as an extension;
+//! - [`variants`]: a factory over every sender variant;
+//! - [`runner`]: warm-up/measure windows ("data sent during the last 60 s");
+//! - [`figures`]: one harness per figure (2, 3, 4 and 6).
+//!
+//! The `repro` binary (`cargo run -p experiments --bin repro --release`)
+//! runs every figure at paper scale and prints the tables recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! Reproduce a single Figure 6 cell (TCP-PR under full multipath):
+//!
+//! ```
+//! use experiments::figures::fig6::run_multipath_point;
+//! use experiments::runner::MeasurePlan;
+//! use experiments::topologies::MeshConfig;
+//! use experiments::variants::Variant;
+//!
+//! let p = run_multipath_point(
+//!     Variant::TcpPr,
+//!     0.0,
+//!     MeshConfig::default(),
+//!     MeasurePlan::quick(),
+//!     7,
+//! );
+//! assert!(p.mbps > 10.0, "TCP-PR aggregates the parallel paths");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod figures;
+pub mod manet;
+pub mod metrics;
+pub mod routeflap;
+pub mod runner;
+pub mod topologies;
+pub mod validation;
+pub mod variants;
+
+pub use runner::MeasurePlan;
+pub use variants::Variant;

@@ -1,0 +1,166 @@
+//! MANET-style route churn (extension — the paper's stated future work).
+//!
+//! In mobile ad-hoc networks, mobility forces the routing protocol to
+//! recompute paths continually; each recomputation can land traffic on a
+//! path with a different length, reordering everything in flight
+//! (\[8\], \[13\], \[20\]). This harness models the *transport-visible* effect:
+//! over a mesh of paths with different hop counts, the active route is
+//! re-drawn at random (seeded) exponential intervals.
+
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use transport::host::{attach_flow, receiver_host, sender_host, FlowOptions};
+use transport::sender::TcpSenderAlgo;
+
+use crate::metrics::mbps;
+use crate::runner::MeasurePlan;
+use crate::topologies::{multipath_mesh, MeshConfig};
+use crate::variants::Variant;
+
+/// Parameters of the churn scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Mesh the routes are drawn from.
+    pub mesh: MeshConfig,
+    /// Mean interval between route recomputations.
+    pub mean_interval: SimDuration,
+    /// Seed for the (deterministic) churn schedule.
+    pub churn_seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            mesh: MeshConfig::default(),
+            mean_interval: SimDuration::from_millis(400),
+            churn_seed: 42,
+        }
+    }
+}
+
+/// Outcome of one churn run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChurnResult {
+    /// Protocol under test.
+    pub variant: Variant,
+    /// Goodput over the measurement window, Mbps.
+    pub mbps: f64,
+    /// Route changes that took effect during the run.
+    pub route_changes: u64,
+    /// Reordered (late) arrivals at the receiver.
+    pub late_arrivals: u64,
+    /// Sender retransmissions.
+    pub retransmits: u64,
+}
+
+/// Runs one variant under random route churn.
+pub fn run_churn(variant: Variant, cfg: ChurnConfig, plan: MeasurePlan, seed: u64) -> ChurnResult {
+    let mesh = multipath_mesh(seed, cfg.mesh);
+    let mut sim = mesh.sim;
+    let n_paths = mesh.n_paths;
+
+    // Pre-compute the churn schedule: exponential inter-arrival times,
+    // uniform path choice, independent for each direction.
+    let mut rng = SmallRng::seed_from_u64(cfg.churn_seed);
+    let horizon = plan.total();
+    let mean_s = cfg.mean_interval.as_secs_f64();
+    let mut route_changes = 0u64;
+    for dirs in 0..2 {
+        let (src, dst) = if dirs == 0 { (mesh.src, mesh.dst) } else { (mesh.dst, mesh.src) };
+        let mut at = SimTime::ZERO;
+        loop {
+            let path = rng.gen_range(0..n_paths);
+            let paths = sim.graph().simple_paths(src, dst, mesh.max_path_hops, 64);
+            let route = netsim::routing::MultipathRoute::with_weights(
+                vec![paths[path].clone()],
+                &[1.0],
+            );
+            sim.schedule_route_install(at, src, dst, route);
+            route_changes += 1;
+            let dt = -mean_s * (1.0 - rng.gen::<f64>()).ln();
+            at += SimDuration::from_secs_f64(dt.max(1e-3));
+            if at >= SimTime::ZERO + horizon {
+                break;
+            }
+        }
+    }
+
+    let h = attach_flow(
+        &mut sim,
+        netsim::ids::FlowId::from_raw(0),
+        mesh.src,
+        mesh.dst,
+        variant.build_with(tcp_pr::TcpPrConfig::default(), 300.0),
+        FlowOptions::default(),
+    );
+    sim.run_until(SimTime::ZERO + plan.warmup);
+    let before = receiver_host(&sim, h.receiver).received_unique_bytes();
+    sim.run_until(SimTime::ZERO + plan.total());
+    let delivered = receiver_host(&sim, h.receiver).received_unique_bytes() - before;
+    let rx = receiver_host(&sim, h.receiver);
+    let tx = sender_host::<Box<dyn TcpSenderAlgo>>(&sim, h.sender);
+    ChurnResult {
+        variant,
+        mbps: mbps(delivered, plan.window.as_secs_f64()),
+        route_changes,
+        late_arrivals: rx.receiver_stats().late_arrivals,
+        retransmits: tx.stats().retransmits,
+    }
+}
+
+/// Text table over churn results.
+pub fn format_table(results: &[ChurnResult]) -> String {
+    let mut s = String::from("MANET-style route churn (single flow over the Fig. 5 mesh)\n");
+    s.push_str("protocol     | Mbps   | late arrivals | rtx\n");
+    for r in results {
+        s.push_str(&format!(
+            "{:12} | {:6.2} | {:13} | {}\n",
+            r.variant.label(),
+            r.mbps,
+            r.late_arrivals,
+            r.retransmits
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_reorders_and_pr_survives() {
+        let plan = MeasurePlan::quick();
+        let pr = run_churn(Variant::TcpPr, ChurnConfig::default(), plan, 3);
+        assert!(pr.late_arrivals > 50, "churn must reorder: {}", pr.late_arrivals);
+        assert!(pr.mbps > 4.0, "TCP-PR should keep most of a path: {}", pr.mbps);
+        assert!(pr.route_changes > 20);
+    }
+
+    #[test]
+    fn pr_beats_sack_under_fast_churn() {
+        let plan = MeasurePlan::quick();
+        let cfg = ChurnConfig {
+            mean_interval: SimDuration::from_millis(150),
+            ..ChurnConfig::default()
+        };
+        let pr = run_churn(Variant::TcpPr, cfg, plan, 3);
+        let sack = run_churn(Variant::Sack, cfg, plan, 3);
+        assert!(
+            pr.mbps > 1.2 * sack.mbps,
+            "TCP-PR {} vs SACK {} under churn",
+            pr.mbps,
+            sack.mbps
+        );
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic() {
+        let plan = MeasurePlan::quick();
+        let a = run_churn(Variant::TcpPr, ChurnConfig::default(), plan, 3);
+        let b = run_churn(Variant::TcpPr, ChurnConfig::default(), plan, 3);
+        assert_eq!(a.mbps, b.mbps);
+        assert_eq!(a.late_arrivals, b.late_arrivals);
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's Section 4 metrics: normalized throughput and the coefficient
+//! of variation.
+
+/// Per-flow normalized throughput: `T_i = x_i / ((1/n) Σ x_j)`.
+///
+/// A flow with `T_i = 1` received exactly the average throughput.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or sums to zero.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::metrics::normalized_throughput;
+///
+/// let t = normalized_throughput(&[1.0, 3.0]);
+/// assert_eq!(t, vec![0.5, 1.5]);
+/// ```
+pub fn normalized_throughput(xs: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "at least one flow required");
+    let avg = xs.iter().sum::<f64>() / xs.len() as f64;
+    assert!(avg > 0.0, "total throughput must be positive");
+    xs.iter().map(|x| x / avg).collect()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty set");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Coefficient of variation: the standard deviation of `xs` divided by its
+/// mean (the paper applies this to per-protocol normalized throughputs).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or has non-positive mean.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::metrics::cov;
+///
+/// assert_eq!(cov(&[2.0, 2.0, 2.0]), 0.0);
+/// assert!(cov(&[1.0, 3.0]) > 0.0);
+/// ```
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    assert!(m > 0.0, "CoV undefined for non-positive mean");
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() / m
+}
+
+/// Converts bytes transferred over a window to Mbps.
+pub fn mbps(bytes: u64, window_secs: f64) -> f64 {
+    assert!(window_secs > 0.0, "window must be positive");
+    bytes as f64 * 8.0 / window_secs / 1e6
+}
+
+/// Jain's fairness index `((Σx)²) / (n·Σx²)` — an extension metric (1.0 is
+/// perfectly fair), handy for cross-checking the paper's normalized
+/// throughput plots.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or all zero.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "at least one flow required");
+    let sum: f64 = xs.iter().sum();
+    let sq_sum: f64 = xs.iter().map(|x| x * x).sum();
+    assert!(sq_sum > 0.0, "all-zero throughputs");
+    (sum * sum) / (xs.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_equal_flows_are_one() {
+        let t = normalized_throughput(&[5.0, 5.0, 5.0]);
+        assert!(t.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalized_mean_is_one() {
+        let t = normalized_throughput(&[1.0, 2.0, 3.0, 10.0]);
+        assert!((mean(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_matches_hand_computation() {
+        // xs = [1, 3]: mean 2, variance 1, std 1, CoV 0.5.
+        assert!((cov(&[1.0, 3.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let unfair = jain_fairness(&[10.0, 0.0, 0.0]);
+        assert!((unfair - 1.0 / 3.0).abs() < 1e-12, "lower bound 1/n");
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        // 7.5 MB over 60 s = 1 Mbps.
+        assert!((mbps(7_500_000, 60.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_normalized_rejected() {
+        normalized_throughput(&[]);
+    }
+}

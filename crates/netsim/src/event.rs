@@ -1,0 +1,173 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! tie-breaking.
+//!
+//! Events at the same instant are dispatched in insertion order (FIFO), which
+//! makes simulations reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{AgentId, LinkId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet arrives at a node (end of a link's propagation).
+    Arrive {
+        /// Node the packet arrives at.
+        node: NodeId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// A link finished serializing the previous packet and can start the next.
+    LinkReady {
+        /// The link that became free.
+        link: LinkId,
+    },
+    /// An agent timer fires.
+    Timer {
+        /// The agent whose timer fires.
+        agent: AgentId,
+        /// Timer generation; lets the simulator discard superseded timers.
+        generation: u64,
+    },
+    /// A scheduled routing change takes effect (models route flaps and
+    /// routing-protocol reconvergence).
+    InstallRoute {
+        /// Source of the (src, dst) pair whose route changes.
+        src: NodeId,
+        /// Destination of the pair.
+        dst: NodeId,
+        /// The new path mixture.
+        route: Box<crate::routing::MultipathRoute>,
+    },
+    /// The simulation control loop should pause and return to the caller.
+    Breakpoint,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::event::{EventQueue, EventKind};
+/// use netsim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), EventKind::Breakpoint);
+/// q.schedule(SimTime::from_nanos(10), EventKind::Breakpoint);
+/// let (t, _) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_nanos(10));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at instant `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|s| (s.at, s.kind))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> EventKind {
+        EventKind::Breakpoint
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), bp());
+        q.schedule(SimTime::from_nanos(10), bp());
+        q.schedule(SimTime::from_nanos(20), bp());
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.as_nanos())).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule(t, EventKind::LinkReady { link: LinkId::from_raw(0) });
+        q.schedule(t, EventKind::LinkReady { link: LinkId::from_raw(1) });
+        q.schedule(t, EventKind::LinkReady { link: LinkId::from_raw(2) });
+        let mut order = Vec::new();
+        while let Some((_, EventKind::LinkReady { link })) = q.pop() {
+            order.push(link.index());
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_nanos(42), bp());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-packet event tracing (ns-2 trace-file style, in memory).
+//!
+//! Tracing is off by default; enable it with
+//! [`crate::sim::Simulator::enable_trace`] for the flows of interest. Every
+//! traced packet contributes one [`TraceRecord`] per lifecycle event, which
+//! the [`analysis`] helpers turn into one-way delays, per-hop paths and
+//! reordering measurements.
+
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::time::SimTime;
+
+/// A packet lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The packet was injected at its source node.
+    Injected,
+    /// The packet was accepted into a link's output queue.
+    Enqueued(LinkId),
+    /// The packet was dropped by a full (or RED) queue.
+    QueueDrop(LinkId),
+    /// The packet was dropped by the link's random-loss process.
+    RandomLoss(LinkId),
+    /// The packet started serialization onto a link.
+    LinkTx(LinkId),
+    /// The packet was delivered to an agent at a node.
+    Delivered(NodeId),
+    /// No route existed for the packet.
+    NoRoute,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The packet's globally-unique id.
+    pub uid: u64,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Data sequence number (`None` for ACKs).
+    pub seq: Option<u64>,
+    /// True for acknowledgment packets.
+    pub is_ack: bool,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// In-memory trace buffer with a hard record cap.
+#[derive(Debug)]
+pub struct Tracer {
+    /// Flows to trace; `None` traces everything.
+    flows: Option<Vec<FlowId>>,
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped_records: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer for the given flows (empty slice = all flows),
+    /// keeping at most `capacity` records.
+    pub fn new(flows: &[FlowId], capacity: usize) -> Self {
+        Tracer {
+            flows: if flows.is_empty() { None } else { Some(flows.to_vec()) },
+            records: Vec::new(),
+            capacity,
+            dropped_records: 0,
+        }
+    }
+
+    /// True if events of `flow` should be recorded.
+    pub fn wants(&self, flow: FlowId) -> bool {
+        match &self.flows {
+            None => true,
+            Some(list) => list.contains(&flow),
+        }
+    }
+
+    /// Appends a record (dropped silently once the cap is reached; the
+    /// drop count is reported so truncation is never mistaken for absence).
+    pub fn record(&mut self, record: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.dropped_records += 1;
+        }
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records discarded because the buffer was full.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+}
+
+/// Post-processing helpers over trace records.
+pub mod analysis {
+    use std::collections::HashMap;
+
+    use super::{TraceEventKind, TraceRecord};
+    use crate::ids::LinkId;
+    use crate::time::{SimDuration, SimTime};
+
+    /// One-way delay (injection → delivery) per delivered packet uid.
+    pub fn one_way_delays(records: &[TraceRecord]) -> Vec<(u64, SimDuration)> {
+        let mut injected: HashMap<u64, SimTime> = HashMap::new();
+        let mut out = Vec::new();
+        for r in records {
+            match r.kind {
+                TraceEventKind::Injected => {
+                    injected.insert(r.uid, r.at);
+                }
+                TraceEventKind::Delivered(_) => {
+                    if let Some(&t0) = injected.get(&r.uid) {
+                        out.push((r.uid, r.at.saturating_since(t0)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The sequence of links each delivered packet traversed.
+    pub fn paths(records: &[TraceRecord]) -> HashMap<u64, Vec<LinkId>> {
+        let mut map: HashMap<u64, Vec<LinkId>> = HashMap::new();
+        for r in records {
+            if let TraceEventKind::LinkTx(link) = r.kind {
+                map.entry(r.uid).or_default().push(link);
+            }
+        }
+        map
+    }
+
+    /// Number of data-packet deliveries whose sequence number is below an
+    /// earlier-delivered one (reorder events at the trace level).
+    pub fn delivery_reorder_count(records: &[TraceRecord]) -> u64 {
+        let mut max_seq: Option<u64> = None;
+        let mut count = 0;
+        for r in records {
+            if let (TraceEventKind::Delivered(_), Some(seq), false) = (r.kind, r.seq, r.is_ack) {
+                match max_seq {
+                    Some(m) if seq < m => count += 1,
+                    Some(m) if seq > m => max_seq = Some(seq),
+                    None => max_seq = Some(seq),
+                    _ => {}
+                }
+            }
+        }
+        count
+    }
+
+    /// Per-link queue-drop counts.
+    pub fn drops_by_link(records: &[TraceRecord]) -> HashMap<LinkId, u64> {
+        let mut map = HashMap::new();
+        for r in records {
+            if let TraceEventKind::QueueDrop(link) = r.kind {
+                *map.entry(link).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::time::SimDuration;
+
+    fn rec(uid: u64, at_ns: u64, kind: TraceEventKind) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            uid,
+            flow: FlowId::from_raw(0),
+            seq: Some(uid),
+            is_ack: false,
+            kind,
+        }
+    }
+
+    #[test]
+    fn tracer_caps_and_counts_overflow() {
+        let mut t = Tracer::new(&[], 2);
+        t.record(rec(0, 0, TraceEventKind::Injected));
+        t.record(rec(1, 1, TraceEventKind::Injected));
+        t.record(rec(2, 2, TraceEventKind::Injected));
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped_records(), 1);
+    }
+
+    #[test]
+    fn flow_filter() {
+        let t = Tracer::new(&[FlowId::from_raw(3)], 10);
+        assert!(t.wants(FlowId::from_raw(3)));
+        assert!(!t.wants(FlowId::from_raw(4)));
+        let all = Tracer::new(&[], 10);
+        assert!(all.wants(FlowId::from_raw(7)));
+    }
+
+    #[test]
+    fn one_way_delay_analysis() {
+        let records = vec![
+            rec(5, 1_000, TraceEventKind::Injected),
+            rec(5, 11_000, TraceEventKind::Delivered(NodeId::from_raw(1))),
+        ];
+        let d = analysis::one_way_delays(&records);
+        assert_eq!(d, vec![(5, SimDuration::from_nanos(10_000))]);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let records = vec![
+            rec(9, 0, TraceEventKind::LinkTx(LinkId::from_raw(0))),
+            rec(9, 5, TraceEventKind::LinkTx(LinkId::from_raw(2))),
+        ];
+        let p = analysis::paths(&records);
+        assert_eq!(p[&9], vec![LinkId::from_raw(0), LinkId::from_raw(2)]);
+    }
+
+    #[test]
+    fn reorder_counting() {
+        let records = vec![
+            rec(0, 0, TraceEventKind::Delivered(NodeId::from_raw(1))),
+            rec(2, 1, TraceEventKind::Delivered(NodeId::from_raw(1))),
+            rec(1, 2, TraceEventKind::Delivered(NodeId::from_raw(1))),
+        ];
+        assert_eq!(analysis::delivery_reorder_count(&records), 1);
+    }
+}

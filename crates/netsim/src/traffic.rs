@@ -1,0 +1,237 @@
+//! Non-TCP traffic agents: constant-bit-rate (CBR) sources and sinks.
+//!
+//! The paper's Figure 3 induces loss by shrinking the bottleneck; CBR
+//! cross-traffic is the other standard ns-2 way to load a link, and is used
+//! by this reproduction's sensitivity studies and tests.
+
+use std::any::Any;
+
+use crate::agent::{Agent, AgentCtx};
+use crate::ids::NodeId;
+use crate::packet::{DataHeader, Packet, PacketKind};
+use crate::time::{SimDuration, SimTime};
+
+/// A constant-bit-rate packet source.
+///
+/// Sends `packet_bytes`-sized packets to `dst` at `rate_bps`, starting at
+/// `start_at`. Packets carry increasing sequence numbers so a [`CbrSink`]
+/// can measure loss and reordering.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::traffic::{CbrSource, CbrSink};
+/// use netsim::{SimBuilder, LinkConfig, FlowId, SimTime};
+///
+/// let mut b = SimBuilder::new(1);
+/// let src = b.add_node();
+/// let dst = b.add_node();
+/// b.add_duplex(src, dst, LinkConfig::mbps_ms(10.0, 5, 100));
+/// let mut sim = b.build();
+/// let flow = FlowId::from_raw(0);
+/// sim.add_agent(src, flow, Box::new(CbrSource::new(dst, 1e6, 1000, SimTime::ZERO)));
+/// let sink = sim.add_agent(dst, flow, Box::new(CbrSink::new()));
+/// sim.run_until(SimTime::from_secs_f64(1.0));
+/// let received = sim.agent(sink).as_any().downcast_ref::<CbrSink>().unwrap().received();
+/// assert!(received > 100, "1 Mbps of 1000-byte packets ≈ 125/s");
+/// ```
+#[derive(Debug)]
+pub struct CbrSource {
+    dst: NodeId,
+    rate_bps: f64,
+    packet_bytes: u32,
+    start_at: SimTime,
+    interval: SimDuration,
+    next_seq: u64,
+    sent: u64,
+}
+
+impl CbrSource {
+    /// Creates a source emitting `packet_bytes`-sized packets at `rate_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate or packet size is not positive.
+    pub fn new(dst: NodeId, rate_bps: f64, packet_bytes: u32, start_at: SimTime) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        assert!(packet_bytes > 0, "packet size must be positive");
+        let interval = SimDuration::from_secs_f64(packet_bytes as f64 * 8.0 / rate_bps);
+        CbrSource { dst, rate_bps, packet_bytes, start_at, interval, next_seq: 0, sent: 0 }
+    }
+
+    /// Packets emitted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Configured rate in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    fn emit(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.send(
+            self.dst,
+            self.packet_bytes,
+            PacketKind::Data(DataHeader {
+                seq: self.next_seq,
+                is_retransmit: false,
+                tx_count: 1,
+                timestamp: ctx.now,
+            }),
+        );
+        self.next_seq += 1;
+        self.sent += 1;
+        ctx.set_timer(ctx.now + self.interval);
+    }
+}
+
+impl Agent for CbrSource {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.start_at > ctx.now {
+            ctx.set_timer(self.start_at);
+        } else {
+            self.emit(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.emit(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts CBR arrivals and measures loss/reordering.
+#[derive(Debug, Default)]
+pub struct CbrSink {
+    received: u64,
+    bytes: u64,
+    max_seq: Option<u64>,
+    late: u64,
+}
+
+impl CbrSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Bytes received.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Arrivals whose sequence number was below the running maximum.
+    pub fn late_arrivals(&self) -> u64 {
+        self.late
+    }
+
+    /// Highest sequence number observed (None before any arrival).
+    pub fn max_seq(&self) -> Option<u64> {
+        self.max_seq
+    }
+}
+
+impl Agent for CbrSink {
+    fn on_start(&mut self, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_packet(&mut self, packet: Packet, _ctx: &mut AgentCtx<'_>) {
+        let PacketKind::Data(h) = &packet.kind else { return };
+        self.received += 1;
+        self.bytes += packet.size_bytes as u64;
+        match self.max_seq {
+            Some(m) if h.seq < m => self.late += 1,
+            Some(m) if h.seq > m => self.max_seq = Some(h.seq),
+            None => self.max_seq = Some(h.seq),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::link::LinkConfig;
+    use crate::sim::SimBuilder;
+
+    fn cbr_sim(rate_bps: f64, secs: f64) -> (u64, u64) {
+        let mut b = SimBuilder::new(2);
+        let src = b.add_node();
+        let dst = b.add_node();
+        b.add_duplex(src, dst, LinkConfig::mbps_ms(10.0, 5, 100));
+        let mut sim = b.build();
+        let flow = FlowId::from_raw(0);
+        let tx = sim.add_agent(src, flow, Box::new(CbrSource::new(dst, rate_bps, 1000, SimTime::ZERO)));
+        let rx = sim.add_agent(dst, flow, Box::new(CbrSink::new()));
+        sim.run_until(SimTime::from_secs_f64(secs));
+        let sent = sim.agent(tx).as_any().downcast_ref::<CbrSource>().unwrap().sent();
+        let recv = sim.agent(rx).as_any().downcast_ref::<CbrSink>().unwrap().received();
+        (sent, recv)
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        // 1 Mbps of 1000 B packets = 125 packets/s.
+        let (sent, recv) = cbr_sim(1e6, 2.0);
+        assert!((240..=252).contains(&sent), "sent {sent}");
+        // The last packet or two may still be in flight at the cutoff.
+        assert!(sent - recv <= 2, "no loss below link capacity: {sent} vs {recv}");
+    }
+
+    #[test]
+    fn overload_drops_at_queue() {
+        // 20 Mbps offered on a 10 Mbps link: about half must drop.
+        let (sent, recv) = cbr_sim(20e6, 2.0);
+        assert!(sent > 4900, "sent {sent}");
+        let ratio = recv as f64 / sent as f64;
+        assert!((0.45..0.60).contains(&ratio), "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn start_delay_is_honored() {
+        let mut b = SimBuilder::new(2);
+        let src = b.add_node();
+        let dst = b.add_node();
+        b.add_duplex(src, dst, LinkConfig::mbps_ms(10.0, 5, 100));
+        let mut sim = b.build();
+        let flow = FlowId::from_raw(0);
+        let start = SimTime::from_secs_f64(1.0);
+        let tx = sim.add_agent(src, flow, Box::new(CbrSource::new(dst, 1e6, 1000, start)));
+        sim.add_agent(dst, flow, Box::new(CbrSink::new()));
+        sim.run_until(SimTime::from_secs_f64(0.9));
+        assert_eq!(sim.agent(tx).as_any().downcast_ref::<CbrSource>().unwrap().sent(), 0);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert!(sim.agent(tx).as_any().downcast_ref::<CbrSource>().unwrap().sent() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = CbrSource::new(NodeId::from_raw(0), 0.0, 1000, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,62 @@
+//! Visualize TCP-PR's congestion-window dynamics as an ASCII time series:
+//! slow start, the AIMD sawtooth, and an extreme-loss episode.
+//!
+//! ```text
+//! cargo run --example cwnd_dynamics --release
+//! ```
+
+use netsim::{FlowId, LinkConfig, SimBuilder, SimDuration, SimTime};
+use tcp_pr::{TcpPrConfig, TcpPrSender};
+use transport::host::{attach_flow, sender_host, FlowOptions};
+
+fn main() {
+    let mut b = SimBuilder::new(21);
+    let src = b.add_node();
+    let r1 = b.add_node();
+    let r2 = b.add_node();
+    let dst = b.add_node();
+    b.add_duplex(src, r1, LinkConfig::mbps_ms(100.0, 5, 300));
+    b.add_duplex(r1, r2, LinkConfig::mbps_ms(10.0, 20, 100));
+    b.add_duplex(r2, dst, LinkConfig::mbps_ms(100.0, 5, 300));
+    let mut sim = b.build();
+
+    let opts = FlowOptions { trace_cwnd: true, ..FlowOptions::default() };
+    let h = attach_flow(
+        &mut sim,
+        FlowId::from_raw(0),
+        src,
+        dst,
+        TcpPrSender::new(TcpPrConfig::default()),
+        opts,
+    );
+    sim.run_until(SimTime::from_secs_f64(60.0));
+
+    let host = sender_host::<TcpPrSender>(&sim, h.sender);
+    let trace = host.cwnd_trace();
+    println!("TCP-PR cwnd over 60 s on a 10 Mbps / ~60 ms-RTT bottleneck\n");
+
+    // Bucket the trace into 0.5 s bins and draw a bar per bin.
+    let bin = SimDuration::from_millis(500);
+    let mut t = SimTime::ZERO;
+    let mut idx = 0usize;
+    let max_cwnd = trace.iter().map(|&(_, w)| w).fold(1.0f64, f64::max);
+    while t < SimTime::from_secs_f64(60.0) && idx < trace.len() {
+        let end = t + bin;
+        let mut last = None;
+        while idx < trace.len() && trace[idx].0 < end {
+            last = Some(trace[idx].1);
+            idx += 1;
+        }
+        if let Some(w) = last {
+            let width = ((w / max_cwnd) * 60.0).round() as usize;
+            println!("{:5.1}s {:6.1} |{}", t.as_secs_f64(), w, "#".repeat(width));
+        }
+        t = end;
+    }
+
+    let stats = host.algo().stats();
+    println!(
+        "\nhalvings: {}  extreme-loss episodes: {}  drops detected: {}",
+        stats.window_halvings, stats.extreme_loss_events, stats.drops_detected
+    );
+}

@@ -1,0 +1,65 @@
+//! DiffServ-induced reordering — the paper's third motivating mechanism:
+//! a QoS router classifies packets of one flow into different queues, so
+//! they overtake each other inside a single router.
+//!
+//! ```text
+//! cargo run --example diffserv_reordering --release
+//! ```
+
+use netsim::link::DiffservScheduler;
+use netsim::{FlowId, LinkConfig, SimBuilder, SimTime};
+use transport::host::{attach_flow, receiver_host, sender_host, FlowOptions};
+use transport::sender::TcpSenderAlgo;
+
+use experiments::variants::Variant;
+
+fn run(variant: Variant, high_prob: f64) -> (f64, u64) {
+    let mut b = SimBuilder::new(13);
+    let src = b.add_node();
+    let router = b.add_node();
+    let dst = b.add_node();
+    b.add_duplex(src, router, LinkConfig::mbps_ms(50.0, 5, 500));
+    // The QoS link: half the packets are marked high priority; weighted
+    // round robin lets marked packets overtake unmarked ones whenever a
+    // backlog forms.
+    let qos = LinkConfig::mbps_ms(10.0, 20, 200)
+        .with_diffserv(high_prob, DiffservScheduler::WeightedRoundRobin { hi: 3, lo: 1 });
+    b.add_link(router, dst, qos);
+    b.add_link(dst, router, LinkConfig::mbps_ms(10.0, 20, 200));
+    let mut sim = b.build();
+    let h = attach_flow(
+        &mut sim,
+        FlowId::from_raw(0),
+        src,
+        dst,
+        variant.build(),
+        FlowOptions::default(),
+    );
+    sim.run_until(SimTime::from_secs_f64(20.0));
+    let rx = receiver_host(&sim, h.receiver);
+    let _ = sender_host::<Box<dyn TcpSenderAlgo>>(&sim, h.sender);
+    (
+        rx.received_unique_bytes() as f64 * 8.0 / 20.0 / 1e6,
+        rx.receiver_stats().late_arrivals,
+    )
+}
+
+fn main() {
+    println!("A single 10 Mbps QoS link, WRR 3:1 between two classes.\n");
+    println!("marking p | protocol     | Mbps  | late arrivals");
+    for high_prob in [0.0, 0.2, 0.5] {
+        for variant in [Variant::TcpPr, Variant::NewReno, Variant::Sack] {
+            let (mbps, late) = run(variant, high_prob);
+            println!(
+                "{high_prob:9.1} | {:12} | {mbps:5.2} | {late}",
+                variant.label()
+            );
+        }
+        println!();
+    }
+    println!(
+        "With marking off (p = 0) everyone fills the link. Once packets of \
+         the same flow ride different queues, DUPACK-driven senders \
+         misread the overtaking as loss, while TCP-PR's timers ignore it."
+    );
+}

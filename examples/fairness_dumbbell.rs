@@ -1,0 +1,32 @@
+//! Section 4's fairness experiment in miniature: TCP-PR and TCP-SACK flows
+//! sharing a dumbbell bottleneck, reporting normalized throughput per flow.
+//!
+//! ```text
+//! cargo run --example fairness_dumbbell --release
+//! ```
+
+use experiments::figures::fairness::{run_fairness, FairnessParams, FairnessTopology};
+use experiments::metrics::jain_fairness;
+use experiments::runner::MeasurePlan;
+use experiments::topologies::DumbbellConfig;
+
+fn main() {
+    for n_flows in [4usize, 8, 16] {
+        let params = FairnessParams { plan: MeasurePlan::quick(), seed: 3, ..Default::default() };
+        let r = run_fairness(FairnessTopology::Dumbbell(DumbbellConfig::default()), n_flows, &params);
+        println!("{n_flows:2} flows ({} TCP-PR + {} TCP-SACK):", n_flows / 2, n_flows / 2);
+        println!("  per-flow normalized throughput, TCP-PR  : {:?}", round_all(&r.pr_normalized));
+        println!("  per-flow normalized throughput, TCP-SACK: {:?}", round_all(&r.sack_normalized));
+        println!(
+            "  means: TCP-PR {:.3}, TCP-SACK {:.3}  (1.0 = perfectly fair share)",
+            r.mean_pr, r.mean_sack
+        );
+        let all: Vec<f64> =
+            r.pr_normalized.iter().chain(r.sack_normalized.iter()).copied().collect();
+        println!("  Jain fairness index over all flows: {:.3}\n", jain_fairness(&all));
+    }
+}
+
+fn round_all(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

@@ -1,0 +1,27 @@
+//! MANET-style route churn (the paper's future-work setting): routes are
+//! recomputed at random intervals, as mobility would force a MANET routing
+//! protocol to do.
+//!
+//! ```text
+//! cargo run --example manet_churn --release
+//! ```
+
+use experiments::manet::{format_table, run_churn, ChurnConfig};
+use experiments::runner::MeasurePlan;
+use experiments::variants::Variant;
+use netsim::time::SimDuration;
+
+fn main() {
+    let plan = MeasurePlan::quick();
+    let variants = [Variant::TcpPr, Variant::Sack, Variant::NewReno, Variant::Door];
+
+    for mean_ms in [1000u64, 400, 150] {
+        let cfg = ChurnConfig {
+            mean_interval: SimDuration::from_millis(mean_ms),
+            ..ChurnConfig::default()
+        };
+        println!("--- mean route lifetime {mean_ms} ms ---");
+        let results: Vec<_> = variants.iter().map(|&v| run_churn(v, cfg, plan, 3)).collect();
+        println!("{}", format_table(&results));
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's headline scenario: persistent packet reordering from
+//! multi-path routing (Figure 5/6), comparing TCP-PR against DUPACK-driven
+//! baselines.
+//!
+//! ```text
+//! cargo run --example multipath_reordering --release
+//! ```
+
+use experiments::figures::fig6::run_multipath_point;
+use experiments::runner::MeasurePlan;
+use experiments::topologies::MeshConfig;
+use experiments::variants::Variant;
+
+fn main() {
+    let plan = MeasurePlan::quick();
+    let mesh = MeshConfig::default(); // Figure 5 mesh, 10 ms links
+
+    println!("Five-path mesh, per-packet ε-routing (ε = 0 ⇒ uniform over all paths)\n");
+    println!("protocol     | eps  | Mbps   | retransmits | late arrivals");
+    for variant in [Variant::TcpPr, Variant::NewReno, Variant::Sack, Variant::DsackNm] {
+        for eps in [0.0, 500.0] {
+            let p = run_multipath_point(variant, eps, mesh, plan, 7);
+            println!(
+                "{:12} | {:4} | {:6.2} | {:11} | {:10}",
+                variant.label(),
+                eps,
+                p.mbps,
+                p.retransmits,
+                p.late_arrivals
+            );
+        }
+    }
+
+    println!();
+    let pr = run_multipath_point(Variant::TcpPr, 0.0, mesh, plan, 7);
+    let nr = run_multipath_point(Variant::NewReno, 0.0, mesh, plan, 7);
+    println!(
+        "Under full multipath, TCP-PR moves {:.1}x the data of NewReno: \
+         timer-based loss detection is immune to reordering, while DUPACK \
+         heuristics retransmit spuriously and shrink the window.",
+        pr.mbps / nr.mbps.max(0.01)
+    );
+}

@@ -1,0 +1,40 @@
+//! Sensitivity of TCP-PR to its two parameters (α, β) — a miniature of the
+//! paper's Figure 4 surface plus a single-flow view of the drop threshold.
+//!
+//! β = 1 makes the drop threshold equal to the estimated maximum RTT, so
+//! ordinary RTT fluctuation fires spurious drops; β ≥ 2 leaves headroom.
+//!
+//! ```text
+//! cargo run --example parameter_sensitivity --release
+//! ```
+
+use experiments::figures::fairness::{run_fairness, FairnessParams, FairnessTopology};
+use experiments::runner::MeasurePlan;
+use experiments::topologies::DumbbellConfig;
+use tcp_pr::TcpPrConfig;
+
+fn main() {
+    println!("TCP-SACK mean normalized throughput vs TCP-PR(α, β), 8 flows, dumbbell");
+    println!("(1.0 = fair; > 1 means SACK wins share because TCP-PR backs off spuriously)\n");
+    println!(" alpha | beta | mean T(SACK) | mean T(PR)");
+    for &alpha in &[0.25f64, 0.995] {
+        for &beta in &[1.0f64, 2.0, 3.0, 5.0] {
+            let params = FairnessParams {
+                plan: MeasurePlan::quick(),
+                seed: 5,
+                pr_config: TcpPrConfig::with_alpha_beta(alpha, beta),
+            };
+            let r = run_fairness(
+                FairnessTopology::Dumbbell(DumbbellConfig::default()),
+                8,
+                &params,
+            );
+            println!(
+                "{alpha:6.3} | {beta:4.1} | {:12.3} | {:10.3}",
+                r.mean_sack, r.mean_pr
+            );
+        }
+    }
+    println!("\nAs in the paper's Figure 4: β = 1 favors TCP-SACK; for β in 2..5 the");
+    println!("two protocols split the bottleneck nearly evenly across the whole α range.");
+}

@@ -1,0 +1,35 @@
+//! Route flaps — the paper's motivating Internet scenario ([17]): the
+//! route between a source and destination oscillates between a short and a
+//! long path, reordering everything in flight at each switch.
+//!
+//! ```text
+//! cargo run --example route_flap --release
+//! ```
+
+use experiments::routeflap::{format_table, run_comparison, RouteFlapConfig};
+use experiments::runner::MeasurePlan;
+use experiments::variants::Variant;
+use netsim::time::SimDuration;
+
+fn main() {
+    let plan = MeasurePlan::quick();
+    let variants =
+        [Variant::TcpPr, Variant::NewReno, Variant::Sack, Variant::Eifel, Variant::Door];
+
+    for period_ms in [2000u64, 500, 200] {
+        let cfg = RouteFlapConfig {
+            flap_period: SimDuration::from_millis(period_ms),
+            ..RouteFlapConfig::default()
+        };
+        println!("--- flap period {period_ms} ms ---");
+        println!("{}", format_table(&run_comparison(&variants, cfg, plan, 7)));
+    }
+
+    println!(
+        "Faster flaps mean more frequent reordering episodes; TCP-PR's \
+         timer-based detection is unaffected, while DUPACK-driven senders \
+         degrade with flap frequency. Eifel and TCP-DOOR (extensions) \
+         recover part of the gap by undoing spurious responses after the \
+         fact."
+    );
+}

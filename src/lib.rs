@@ -1,0 +1,16 @@
+//! # tcp-pr-repro — umbrella crate
+//!
+//! Re-exports the workspace crates so the examples and integration tests
+//! can use one dependency. See the individual crates for documentation:
+//!
+//! - [`netsim`] — the discrete-event network simulator substrate,
+//! - [`transport`] — sender/receiver plumbing,
+//! - [`tcp_pr`] — the paper's algorithm,
+//! - [`baselines`] — every comparison TCP variant,
+//! - [`experiments`] — topologies, metrics and figure harnesses.
+
+pub use baselines;
+pub use experiments;
+pub use netsim;
+pub use tcp_pr;
+pub use transport;

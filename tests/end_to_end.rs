@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: every sender variant driven end-to-end
+//! through the simulator, plus determinism and reordering-robustness checks.
+
+use experiments::runner::{measure_window, MeasurePlan};
+use experiments::topologies::{dumbbell, DumbbellConfig};
+use experiments::variants::Variant;
+use netsim::time::{SimDuration, SimTime};
+use netsim::{FlowId, LinkConfig, SimBuilder};
+use transport::host::{attach_flow, receiver_host, FlowOptions};
+
+fn quick_plan() -> MeasurePlan {
+    MeasurePlan { warmup: SimDuration::from_secs(5), window: SimDuration::from_secs(10) }
+}
+
+/// Every variant must move substantial data over a clean dumbbell.
+#[test]
+fn every_variant_fills_a_clean_path() {
+    for variant in Variant::ALL {
+        let mut d = dumbbell(17, DumbbellConfig::default());
+        let h = attach_flow(
+            &mut d.sim,
+            FlowId::from_raw(0),
+            d.src,
+            d.dst,
+            variant.build(),
+            FlowOptions::default(),
+        );
+        let bytes = measure_window(&mut d.sim, &[h], quick_plan());
+        // 30 Mbps for 10 s = 37.5 MB ceiling; expect at least half.
+        assert!(
+            bytes[0] > 18_000_000,
+            "{variant}: only {} bytes over a clean 30 Mbps path",
+            bytes[0]
+        );
+    }
+}
+
+/// Identical seeds must give bit-identical results across the whole stack;
+/// different seeds must diverge once randomness (link jitter) is in play.
+#[test]
+fn simulations_are_deterministic() {
+    let run = |seed: u64| {
+        let mut b = SimBuilder::new(seed);
+        let src = b.add_node();
+        let dst = b.add_node();
+        b.add_link(
+            src,
+            dst,
+            LinkConfig::mbps_ms(10.0, 10, 500).with_jitter(0.3, SimDuration::from_millis(20)),
+        );
+        b.add_link(dst, src, LinkConfig::mbps_ms(10.0, 10, 500));
+        let mut sim = b.build();
+        let h = attach_flow(
+            &mut sim,
+            FlowId::from_raw(0),
+            src,
+            dst,
+            Variant::TcpPr.build(),
+            FlowOptions::default(),
+        );
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        (receiver_host(&sim, h.receiver).received_unique_bytes(), sim.stats().events)
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99), run(100), "different seeds should differ under jitter");
+}
+
+/// Single-link random-jitter reordering: TCP-PR holds throughput while a
+/// DUPACK-driven sender collapses (the paper's core claim in miniature,
+/// without multipath routing).
+#[test]
+fn jitter_reordering_hurts_dupack_senders_not_tcp_pr() {
+    let run = |variant: Variant| {
+        let mut b = SimBuilder::new(23);
+        let src = b.add_node();
+        let dst = b.add_node();
+        // 40% of packets get up to 60 ms of extra delay: heavy reordering,
+        // zero loss.
+        let fwd = LinkConfig::mbps_ms(10.0, 10, 2000)
+            .with_jitter(0.4, SimDuration::from_millis(60));
+        b.add_link(src, dst, fwd);
+        b.add_link(dst, src, LinkConfig::mbps_ms(10.0, 10, 2000));
+        let mut sim = b.build();
+        let h = attach_flow(
+            &mut sim,
+            FlowId::from_raw(0),
+            src,
+            dst,
+            variant.build(),
+            FlowOptions::default(),
+        );
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        receiver_host(&sim, h.receiver).received_unique_bytes()
+    };
+    let pr = run(Variant::TcpPr);
+    let newreno = run(Variant::NewReno);
+    assert!(
+        pr > 2 * newreno,
+        "TCP-PR ({pr} B) must beat NewReno ({newreno} B) under heavy jitter"
+    );
+    // And TCP-PR should retain a large fraction of the line rate
+    // (10 Mbps × 20 s = 25 MB ceiling).
+    assert!(pr > 10_000_000, "TCP-PR got only {pr} B under jitter");
+}
+
+/// ACK-path reordering alone (reverse-path jitter) must not hurt TCP-PR.
+#[test]
+fn ack_reordering_is_harmless_to_tcp_pr() {
+    let run = |jitter: bool| {
+        let mut b = SimBuilder::new(31);
+        let src = b.add_node();
+        let dst = b.add_node();
+        b.add_link(src, dst, LinkConfig::mbps_ms(10.0, 10, 2000));
+        let rev = if jitter {
+            LinkConfig::mbps_ms(10.0, 10, 2000).with_jitter(0.4, SimDuration::from_millis(60))
+        } else {
+            LinkConfig::mbps_ms(10.0, 10, 2000)
+        };
+        b.add_link(dst, src, rev);
+        let mut sim = b.build();
+        let h = attach_flow(
+            &mut sim,
+            FlowId::from_raw(0),
+            src,
+            dst,
+            Variant::TcpPr.build(),
+            FlowOptions::default(),
+        );
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        receiver_host(&sim, h.receiver).received_unique_bytes()
+    };
+    let clean = run(false);
+    let jittered = run(true);
+    assert!(
+        jittered as f64 > clean as f64 * 0.85,
+        "ACK reordering cost TCP-PR too much: {jittered} vs {clean}"
+    );
+}
+
+/// DiffServ two-class queueing on a single router reorders a flow's own
+/// packets; TCP-PR holds throughput where NewReno degrades (the paper's
+/// DiffServ motivation).
+#[test]
+fn diffserv_reordering_favors_tcp_pr() {
+    use netsim::link::DiffservScheduler;
+    let run = |variant: Variant| {
+        let mut b = SimBuilder::new(13);
+        let src = b.add_node();
+        let router = b.add_node();
+        let dst = b.add_node();
+        b.add_duplex(src, router, LinkConfig::mbps_ms(50.0, 5, 500));
+        let qos = LinkConfig::mbps_ms(10.0, 20, 200)
+            .with_diffserv(0.5, DiffservScheduler::WeightedRoundRobin { hi: 3, lo: 1 });
+        b.add_link(router, dst, qos);
+        b.add_link(dst, router, LinkConfig::mbps_ms(10.0, 20, 200));
+        let mut sim = b.build();
+        let h = attach_flow(
+            &mut sim,
+            FlowId::from_raw(0),
+            src,
+            dst,
+            variant.build(),
+            FlowOptions::default(),
+        );
+        sim.run_until(SimTime::from_secs_f64(15.0));
+        receiver_host(&sim, h.receiver).received_unique_bytes()
+    };
+    let pr = run(Variant::TcpPr);
+    let nr = run(Variant::NewReno);
+    assert!(pr as f64 > 1.2 * nr as f64, "TCP-PR {pr} vs NewReno {nr} under DiffServ");
+    assert!(pr > 10_000_000, "TCP-PR should keep most of the QoS link: {pr}");
+}
+
+/// Delayed ACKs (RFC 1122) halve the ACK stream; every sender variant must
+/// still fill the path (cumulative ACKs cover two segments at a time).
+#[test]
+fn delayed_acks_do_not_break_any_variant() {
+    for variant in [Variant::TcpPr, Variant::Sack, Variant::NewReno, Variant::TdFr] {
+        let mut d = dumbbell(29, DumbbellConfig::default());
+        let opts = FlowOptions {
+            delayed_ack: Some(SimDuration::from_millis(100)),
+            ..FlowOptions::default()
+        };
+        let h = attach_flow(&mut d.sim, FlowId::from_raw(0), d.src, d.dst, variant.build(), opts);
+        let bytes = measure_window(&mut d.sim, &[h], quick_plan());
+        assert!(
+            bytes[0] > 12_000_000,
+            "{variant} with delayed ACKs moved only {} bytes",
+            bytes[0]
+        );
+    }
+}
+
+/// Mixed variants coexist on one bottleneck without anyone starving.
+#[test]
+fn mixed_variants_coexist() {
+    let mut d = dumbbell(5, DumbbellConfig::default());
+    let variants = [Variant::TcpPr, Variant::Sack, Variant::NewReno, Variant::TcpPr];
+    let handles: Vec<_> = variants
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            attach_flow(
+                &mut d.sim,
+                FlowId::from_raw(i as u32),
+                d.src,
+                d.dst,
+                v.build(),
+                FlowOptions::default(),
+            )
+        })
+        .collect();
+    let bytes = measure_window(&mut d.sim, &handles, quick_plan());
+    let total: u64 = bytes.iter().sum();
+    for (i, b) in bytes.iter().enumerate() {
+        let share = *b as f64 / total as f64;
+        assert!(
+            share > 0.05,
+            "{} starved: {share:.3} of the bottleneck",
+            variants[i].label()
+        );
+    }
+    // The bottleneck should be essentially full.
+    assert!(total > 25_000_000, "link underutilized: {total} bytes");
+}
