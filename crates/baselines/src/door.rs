@@ -21,6 +21,7 @@
 
 use netsim::time::{SimDuration, SimTime};
 use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+use transport::telemetry::SenderTelemetry;
 
 use crate::reno::{RenoConfig, RenoSender, RenoStats};
 
@@ -141,6 +142,19 @@ impl DoorSender {
         } else {
             false
         }
+    }
+}
+
+impl SenderTelemetry for DoorSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        let mut s = self.inner.common_stats();
+        s.algorithm = self.name().to_owned();
+        // DOOR's OOO detections play the role other variants' spurious
+        // detections do, and instant recoveries are its reversals.
+        s.spurious_detections = self.stats.ooo_detected;
+        s.spurious_reversals = self.stats.instant_recoveries;
+        s.extra.push(("suppressed_dupacks".to_owned(), self.stats.suppressed_dupacks));
+        s
     }
 }
 

@@ -20,6 +20,7 @@
 
 use netsim::time::SimTime;
 use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+use transport::telemetry::SenderTelemetry;
 
 use crate::reno::{RenoConfig, RenoSender, RenoStats};
 
@@ -134,15 +135,24 @@ impl DsackSender {
             DupthreshResponse::NoMovement => self.dupthresh_f,
             DupthreshResponse::IncrementBy(k) => self.dupthresh_f + k as f64,
             DupthreshResponse::AverageWithEpisode => (self.dupthresh_f + episode_n) / 2.0,
-            DupthreshResponse::Ewma { gain } => {
-                (1.0 - gain) * self.dupthresh_f + gain * episode_n
-            }
+            DupthreshResponse::Ewma { gain } => (1.0 - gain) * self.dupthresh_f + gain * episode_n,
         };
         // Clamp: never below standard TCP's 3, never beyond 90% of cwnd
         // (it must stay reachable).
         let cap = (0.9 * self.inner.cwnd()).max(3.0);
         self.dupthresh_f = self.dupthresh_f.clamp(3.0, cap);
         self.inner.set_dupthresh(self.dupthresh_f.round() as u32);
+    }
+}
+
+impl SenderTelemetry for DsackSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        let mut s = self.inner.common_stats();
+        s.algorithm = self.name().to_owned();
+        s.spurious_detections = self.stats.spurious_detected;
+        s.spurious_reversals = self.stats.restores;
+        s.extra.push(("dupthresh".to_owned(), self.dupthresh() as u64));
+        s
     }
 }
 
@@ -254,11 +264,7 @@ mod tests {
         // Slow-start restore: ssthresh is set to the pre-reduction window
         // (9.0 after 8 acked in slow start) so the sender climbs back to it
         // exponentially instead of jumping (no sudden burst).
-        assert!(
-            (s.ssthresh() - 9.0).abs() < 1e-9,
-            "ssthresh = prior cwnd, got {}",
-            s.ssthresh()
-        );
+        assert!((s.ssthresh() - 9.0).abs() < 1e-9, "ssthresh = prior cwnd, got {}", s.ssthresh());
         assert!(s.cwnd() < 9.0, "cwnd itself climbs back via slow start");
     }
 

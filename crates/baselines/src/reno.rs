@@ -177,6 +177,11 @@ impl RenoSender {
         self.rto.srtt()
     }
 
+    /// Current retransmission timeout (including backoff).
+    pub fn current_rto(&self) -> SimDuration {
+        self.rto.rto()
+    }
+
     /// Packets currently unacknowledged.
     fn flight(&self) -> u64 {
         self.snd_nxt - self.snd_una
@@ -333,6 +338,24 @@ impl RenoSender {
                 self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_cwnd + self.cfg.dupthresh as f64);
                 self.send_new_data(now, out);
             }
+        }
+    }
+}
+
+impl transport::telemetry::SenderTelemetry for RenoSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        transport::telemetry::CommonStats {
+            algorithm: self.name().to_owned(),
+            acked_segments: self.stats.acked_segments,
+            fast_retransmits: self.stats.fast_retransmits,
+            timeouts: self.stats.timeouts,
+            dupacks: self.stats.dupacks,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            srtt: self.srtt(),
+            rto: Some(self.current_rto()),
+            extra: vec![("partial_acks".to_owned(), self.stats.partial_acks)],
+            ..Default::default()
         }
     }
 }
@@ -520,8 +543,7 @@ mod tests {
 
     #[test]
     fn reno_exits_recovery_on_any_new_ack() {
-        let mut cfg = RenoConfig::default();
-        cfg.newreno = false;
+        let cfg = RenoConfig { newreno: false, ..RenoConfig::default() };
         let mut s = RenoSender::new(cfg);
         let mut out = SenderOutput::new();
         s.on_start(SimTime::ZERO, &mut out);
@@ -614,7 +636,7 @@ mod tests {
         out.clear();
         let mut now = SimTime::ZERO;
         for cum in 1..=4 {
-            now = now + ms(10);
+            now += ms(10);
             s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
             out.clear();
         }
@@ -644,7 +666,7 @@ mod tests {
         out.clear();
         let mut now = SimTime::ZERO;
         for cum in 1..=4 {
-            now = now + ms(10);
+            now += ms(10);
             s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
             out.clear();
         }
@@ -659,8 +681,7 @@ mod tests {
 
     #[test]
     fn limited_transmit_sends_on_first_two_dupacks() {
-        let mut cfg = RenoConfig::default();
-        cfg.limited_transmit = true;
+        let cfg = RenoConfig { limited_transmit: true, ..RenoConfig::default() };
         let mut s = RenoSender::new(cfg);
         let mut out = SenderOutput::new();
         s.on_start(SimTime::ZERO, &mut out);

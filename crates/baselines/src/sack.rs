@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use netsim::time::SimTime;
+use netsim::time::{SimDuration, SimTime};
 use transport::rto::RtoEstimator;
 use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
 
@@ -119,6 +119,16 @@ impl SackSender {
         matches!(self.state, State::Recovery { .. })
     }
 
+    /// Smoothed RTT estimate, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    /// Current retransmission timeout (including backoff).
+    pub fn current_rto(&self) -> SimDuration {
+        self.rto.rto()
+    }
+
     /// The pipe estimate: segments believed in flight.
     pub fn pipe(&self) -> u64 {
         let outstanding = self.snd_nxt - self.snd_una;
@@ -166,11 +176,7 @@ impl SackSender {
         let _ = now;
         while (self.pipe() as f64) < self.cwnd.min(self.cfg.max_cwnd) {
             // NextSeg: first lost, un-retransmitted segment; else new data.
-            let next_rtx = self
-                .lost
-                .iter()
-                .copied()
-                .find(|seq| !self.retxed.contains(seq));
+            let next_rtx = self.lost.iter().copied().find(|seq| !self.retxed.contains(seq));
             match next_rtx {
                 Some(seq) => {
                     out.transmit(seq, true);
@@ -219,6 +225,25 @@ impl SackSender {
                 self.retxed.insert(una);
                 self.stats.scoreboard_retransmits += 1;
             }
+        }
+    }
+}
+
+impl transport::telemetry::SenderTelemetry for SackSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        transport::telemetry::CommonStats {
+            algorithm: self.name().to_owned(),
+            acked_segments: self.stats.acked_segments,
+            // SACK's dupack-counted recovery entries are its fast
+            // retransmits.
+            fast_retransmits: self.stats.recoveries,
+            timeouts: self.stats.timeouts,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            srtt: self.srtt(),
+            rto: Some(self.current_rto()),
+            extra: vec![("scoreboard_retransmits".to_owned(), self.stats.scoreboard_retransmits)],
+            ..Default::default()
         }
     }
 }
@@ -457,7 +482,7 @@ mod tests {
             other => panic!("expected timer, got {other:?}"),
         };
         out.clear();
-        now = now + d1;
+        now += d1;
         s.on_timer(now, &mut out);
         let d2 = match out.timer() {
             transport::sender::TimerOp::Set(t) => t.saturating_since(now),

@@ -131,6 +131,16 @@ impl TdFrSender {
         self.stats
     }
 
+    /// Smoothed RTT estimate, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    /// Current retransmission timeout (including backoff).
+    pub fn current_rto(&self) -> SimDuration {
+        self.rto.rto()
+    }
+
     /// The wait threshold `max(RTT/2, DT)` for the current episode.
     fn wait_threshold(&self, dt: Option<SimDuration>) -> SimDuration {
         let half_rtt = self.rto.srtt().map(|s| s / 2).unwrap_or(self.cfg.default_wait);
@@ -201,6 +211,25 @@ impl TdFrSender {
     }
 }
 
+impl transport::telemetry::SenderTelemetry for TdFrSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        transport::telemetry::CommonStats {
+            algorithm: self.name().to_owned(),
+            acked_segments: self.stats.acked_segments,
+            // A delayed fast retransmit that fires is TD-FR's fast
+            // retransmit.
+            fast_retransmits: self.stats.delayed_fast_retransmits,
+            timeouts: self.stats.timeouts,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            srtt: self.srtt(),
+            rto: Some(self.current_rto()),
+            extra: vec![("cancelled_episodes".to_owned(), self.stats.cancelled_episodes)],
+            ..Default::default()
+        }
+    }
+}
+
 impl TcpSenderAlgo for TdFrSender {
     fn on_start(&mut self, now: SimTime, out: &mut SenderOutput) {
         self.send_new_data(out);
@@ -265,9 +294,7 @@ impl TcpSenderAlgo for TdFrSender {
                             }
                         }
                     }
-                    if self.cfg.limited_transmit
-                        && self.episode.is_some_and(|e| e.count <= 2)
-                    {
+                    if self.cfg.limited_transmit && self.episode.is_some_and(|e| e.count <= 2) {
                         self.limited_transmit_credit += 1;
                         self.send_new_data(out);
                     }

@@ -19,7 +19,8 @@ fn bench_fig6(c: &mut Criterion) {
     print_reference_rows();
     let mut group = c.benchmark_group("fig6_multipath");
     group.sample_size(10);
-    for (variant, eps) in [(Variant::TcpPr, 0.0), (Variant::DsackNm, 0.0), (Variant::TcpPr, 500.0)] {
+    for (variant, eps) in [(Variant::TcpPr, 0.0), (Variant::DsackNm, 0.0), (Variant::TcpPr, 500.0)]
+    {
         group.bench_with_input(
             BenchmarkId::new(variant.label().replace(' ', "_"), format!("eps{eps}")),
             &(variant, eps),

@@ -103,10 +103,7 @@ mod tests {
         for &cwnd in &[1.0, 2.0, 5.0, 17.0, 64.0, 500.0] {
             let exact = 0.995f64.powf(1.0 / cwnd);
             let approx = alpha_root(0.995, cwnd, 2);
-            assert!(
-                (exact - approx).abs() < 1e-6,
-                "cwnd={cwnd}: exact {exact} vs newton {approx}"
-            );
+            assert!((exact - approx).abs() < 1e-6, "cwnd={cwnd}: exact {exact} vs newton {approx}");
         }
     }
 

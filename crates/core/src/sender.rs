@@ -185,8 +185,7 @@ impl TcpPrSender {
                 // Deadline for the memorized flight becomes ≥ now + ewrtt:
                 // effective stamp = now − (mxrtt − ewrtt) = now − (β−1)·ewrtt.
                 let hold = ewrtt * (self.cfg.beta - 1.0);
-                let floor =
-                    SimTime::from_nanos(now.as_nanos().saturating_sub(hold.as_nanos()));
+                let floor = SimTime::from_nanos(now.as_nanos().saturating_sub(hold.as_nanos()));
                 self.book.defer_memorize(floor);
             }
         }
@@ -225,11 +224,8 @@ impl TcpPrSender {
         } else if self.backoff.is_some() {
             // A new drop while cwnd = 1: double mxrtt instead of halving.
             self.stats.backoff_doublings += 1;
-            let doubled = self
-                .backoff
-                .expect("checked is_some")
-                .saturating_mul(2)
-                .min(self.cfg.max_backoff);
+            let doubled =
+                self.backoff.expect("checked is_some").saturating_mul(2).min(self.cfg.max_backoff);
             self.backoff = Some(doubled);
             self.paused_until = Some(now + doubled);
         } else {
@@ -239,8 +235,7 @@ impl TcpPrSender {
             // the flight re-expires (and the window re-opens) with the
             // spacing of the original transmissions.
             self.book.snapshot_memorize();
-            let basis =
-                if self.cfg.ablate_halve_current { self.cwnd } else { record.cwnd_at_send };
+            let basis = if self.cfg.ablate_halve_current { self.cwnd } else { record.cwnd_at_send };
             self.cwnd = (basis / 2.0).max(1.0);
             self.ssthr = self.cwnd;
             self.mode = Mode::CongestionAvoidance;
@@ -263,6 +258,32 @@ impl TcpPrSender {
         self.backoff = Some(b);
         self.paused_until = Some(now + b);
         self.cburst = 0;
+    }
+}
+
+impl transport::telemetry::SenderTelemetry for TcpPrSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        transport::telemetry::CommonStats {
+            algorithm: self.name().to_owned(),
+            acked_segments: self.stats.acked_segments,
+            // TCP-PR's only loss signal is per-packet timer expiry, so every
+            // detected drop is a timeout; it has no dupack-driven recovery.
+            timeouts: self.stats.drops_detected,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthr,
+            // ewrtt/mxrtt are TCP-PR's analogues of srtt/RTO: the smoothed
+            // RTT bound and the deadline after which a packet is declared
+            // lost.
+            srtt: self.ewrtt(),
+            rto: Some(self.mxrtt()),
+            extra: vec![
+                ("window_halvings".to_owned(), self.stats.window_halvings),
+                ("memorize_drops".to_owned(), self.stats.memorize_drops),
+                ("extreme_loss_events".to_owned(), self.stats.extreme_loss_events),
+                ("backoff_doublings".to_owned(), self.stats.backoff_doublings),
+            ],
+            ..Default::default()
+        }
     }
 }
 
@@ -522,18 +543,16 @@ mod tests {
     #[test]
     fn rtt_spike_within_beta_does_not_fire() {
         // Small fixed window so every outstanding packet is fresh.
-        let mut cfg = TcpPrConfig::default(); // β = 3
-        cfg.max_cwnd = 2.0;
+        let cfg = TcpPrConfig { max_cwnd: 2.0, ..TcpPrConfig::default() }; // β = 3
         let mut s = TcpPrSender::new(cfg);
         let mut out = SenderOutput::new();
         s.on_start(SimTime::ZERO, &mut out);
         out.clear();
         // Establish ewrtt = 100 ms with prompt full-window ACKs.
         let mut now = SimTime::ZERO;
-        let mut cum = 0;
         for _ in 0..20 {
             now += ms(100);
-            cum = s.book().snd_nxt();
+            let cum = s.book().snd_nxt();
             s.on_ack(&ack(cum), now, &mut out);
             out.clear();
         }
@@ -646,8 +665,7 @@ mod tests {
 
     #[test]
     fn cwnd_capped_at_max() {
-        let mut cfg = TcpPrConfig::default();
-        cfg.max_cwnd = 4.0;
+        let cfg = TcpPrConfig { max_cwnd: 4.0, ..TcpPrConfig::default() };
         let mut s = TcpPrSender::new(cfg);
         let mut out = SenderOutput::new();
         s.on_start(SimTime::ZERO, &mut out);
@@ -689,8 +707,7 @@ mod tests {
         // A packet expires (queued for retransmit, not yet sent because the
         // window is closed) and then its original ACK arrives: the queued
         // retransmit must be dropped.
-        let mut cfg = TcpPrConfig::default();
-        cfg.max_cwnd = 2.0;
+        let cfg = TcpPrConfig { max_cwnd: 2.0, ..TcpPrConfig::default() };
         let mut s = TcpPrSender::new(cfg);
         let mut out = SenderOutput::new();
         s.on_start(SimTime::ZERO, &mut out);
@@ -723,9 +740,11 @@ mod tests {
 
     #[test]
     fn ablation_no_memorize_halves_per_drop() {
-        let mut cfg = TcpPrConfig::default();
-        cfg.ablate_no_memorize = true;
-        cfg.ablate_no_extreme_loss = true;
+        let cfg = TcpPrConfig {
+            ablate_no_memorize: true,
+            ablate_no_extreme_loss: true,
+            ..TcpPrConfig::default()
+        };
         let mut s = TcpPrSender::new(cfg);
         let now = grow_window(&mut s, 16.0);
         let mut out = SenderOutput::new();
@@ -743,8 +762,7 @@ mod tests {
 
     #[test]
     fn ablation_no_extreme_loss_never_backs_off() {
-        let mut cfg = TcpPrConfig::default();
-        cfg.ablate_no_extreme_loss = true;
+        let cfg = TcpPrConfig { ablate_no_extreme_loss: true, ..TcpPrConfig::default() };
         let mut s = TcpPrSender::new(cfg);
         let now = grow_window(&mut s, 16.0);
         let mut out = SenderOutput::new();
@@ -757,8 +775,7 @@ mod tests {
 
     #[test]
     fn ablation_halve_current_ignores_snapshot() {
-        let mut cfg = TcpPrConfig::default();
-        cfg.ablate_halve_current = true;
+        let cfg = TcpPrConfig { ablate_halve_current: true, ..TcpPrConfig::default() };
         let mut s = TcpPrSender::new(cfg);
         let _ = grow_window(&mut s, 8.0);
         let cwnd_now = s.cwnd();

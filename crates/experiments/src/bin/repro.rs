@@ -1,72 +1,133 @@
 //! Regenerates every table/figure of the TCP-PR paper's evaluation.
 //!
 //! ```text
-//! cargo run -p experiments --bin repro --release -- [fig2|fig3|fig4|fig6|all] [--quick]
+//! cargo run -p experiments --bin repro --release -- \
+//!     [fig2|fig3|fig4|fig6|all] [--quick] [--telemetry-dir <dir>]
 //! ```
 //!
 //! Prints the paper-style tables to stdout and writes machine-readable JSON
-//! into `results/`.
+//! into `results/`. Every artifact embeds a `run_health` block (events
+//! processed, events/sec wall-clock, peak event-heap size, dropped trace
+//! records, wall time) for the simulations behind it. With
+//! `--telemetry-dir <dir>`, the fig2 run additionally streams a complete
+//! JSONL packet trace of its first TCP-PR flow into `<dir>`.
 
 use std::fs;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::process::exit;
 
 use experiments::figures::{fig2, fig3, fig4, fig6};
 use experiments::runner::MeasurePlan;
+use experiments::telemetry::{artifact_json, warn_if_dropped, FigureTimer};
 use experiments::variants::Variant;
+use netsim::trace::{JsonlTraceSink, TraceSink};
+
+struct Cli {
+    quick: bool,
+    which: Vec<String>,
+    telemetry_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli { quick: false, which: Vec::new(), telemetry_dir: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--telemetry-dir" => match args.next() {
+                Some(dir) => cli.telemetry_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --telemetry-dir needs a directory argument");
+                    exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                exit(2);
+            }
+            other => cli.which.push(other.to_owned()),
+        }
+    }
+    cli
+}
+
+/// Writes the artifact (results + run-health) and reports the figure's
+/// wall time; warns on stderr if trace records were lost.
+fn finish_figure<T: serde::Serialize>(name: &str, timer: FigureTimer, results: &T) {
+    let health = timer.finish();
+    let path = format!("results/{name}.json");
+    fs::write(&path, artifact_json(results, &health)).expect("write artifact");
+    warn_if_dropped(name, &health);
+    eprintln!(
+        "[{name} done in {:.1}s — {} events over {} sim(s), {:.0} events/s, peak heap {}]",
+        health.wall_time_s,
+        health.events_processed,
+        health.sims,
+        health.events_per_sec,
+        health.peak_event_heap
+    );
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let all = which.is_empty() || which.contains(&"all");
-    let plan = if quick { MeasurePlan::quick() } else { MeasurePlan::default() };
+    let cli = parse_args();
+    let all = cli.which.is_empty() || cli.which.iter().any(|w| w == "all");
+    let wants = |name: &str| all || cli.which.iter().any(|w| w == name);
+    let plan = if cli.quick { MeasurePlan::quick() } else { MeasurePlan::default() };
     fs::create_dir_all("results").expect("create results dir");
-
-    if all || which.contains(&"fig2") {
-        let t0 = Instant::now();
-        let counts: &[usize] = if quick { &[2, 8, 16] } else { &fig2::FLOW_COUNTS };
-        let series = fig2::run_figure2(plan, 1, counts);
-        println!("{}", fig2::format_table(&series));
-        fs::write("results/fig2.json", serde_json::to_string_pretty(&series).unwrap()).unwrap();
-        eprintln!("[fig2 done in {:.1?}]", t0.elapsed());
+    if let Some(dir) = &cli.telemetry_dir {
+        fs::create_dir_all(dir).expect("create telemetry dir");
     }
 
-    if all || which.contains(&"fig3") {
-        let t0 = Instant::now();
+    if wants("fig2") {
+        let timer = FigureTimer::start();
+        let counts: &[usize] = if cli.quick { &[2, 8, 16] } else { &fig2::FLOW_COUNTS };
+        let trace_sink: Option<Box<dyn TraceSink>> = cli.telemetry_dir.as_ref().map(|dir| {
+            let path = dir.join("fig2_flow0.jsonl");
+            let sink = JsonlTraceSink::create(&path).expect("create fig2 trace file");
+            eprintln!("[fig2 trace → {}]", path.display());
+            Box::new(sink) as Box<dyn TraceSink>
+        });
+        let series = fig2::run_figure2_with(plan, 1, counts, trace_sink);
+        println!("{}", fig2::format_table(&series));
+        finish_figure("fig2", timer, &series);
+    }
+
+    if wants("fig3") {
+        let timer = FigureTimer::start();
         // Smaller bottlenecks ⇒ higher loss (the paper's 4–13% band).
-        let bandwidths: &[f64] = if quick { &[20.0, 8.0] } else { &[25.0, 18.0, 12.0, 8.0, 5.0] };
-        let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] };
-        let n_flows = if quick { 16 } else { 64 };
+        let bandwidths: &[f64] =
+            if cli.quick { &[20.0, 8.0] } else { &[25.0, 18.0, 12.0, 8.0, 5.0] };
+        let seeds: &[u64] = if cli.quick { &[1, 2] } else { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] };
+        let n_flows = if cli.quick { 16 } else { 64 };
         let mut points = fig3::run_figure3(true, bandwidths, seeds, n_flows, plan);
         let backbone: Vec<f64> = bandwidths.iter().map(|b| b * 0.6).collect();
         points.extend(fig3::run_figure3(false, &backbone, seeds, n_flows, plan));
         println!("{}", fig3::format_table(&points));
-        fs::write("results/fig3.json", serde_json::to_string_pretty(&points).unwrap()).unwrap();
-        eprintln!("[fig3 done in {:.1?}]", t0.elapsed());
+        finish_figure("fig3", timer, &points);
     }
 
-    if all || which.contains(&"fig4") {
-        let t0 = Instant::now();
-        let alphas: &[f64] = if quick { &[0.25, 0.995] } else { &fig4::ALPHAS };
-        let betas: &[f64] = if quick { &[1.0, 3.0] } else { &fig4::BETAS };
-        let n_flows = if quick { 8 } else { 64 };
+    if wants("fig4") {
+        let t0 = std::time::Instant::now();
+        let alphas: &[f64] = if cli.quick { &[0.25, 0.995] } else { &fig4::ALPHAS };
+        let betas: &[f64] = if cli.quick { &[1.0, 3.0] } else { &fig4::BETAS };
+        let n_flows = if cli.quick { 8 } else { 64 };
         for dumbbell in [true, false] {
+            let timer = FigureTimer::start();
             let cells = fig4::run_figure4(dumbbell, alphas, betas, n_flows, plan, 1);
             println!(
                 "[{} topology]\n{}",
                 if dumbbell { "dumbbell" } else { "parking-lot" },
                 fig4::format_table(&cells)
             );
-            let name = if dumbbell { "results/fig4_dumbbell.json" } else { "results/fig4_parkinglot.json" };
-            fs::write(name, serde_json::to_string_pretty(&cells).unwrap()).unwrap();
+            let name = if dumbbell { "fig4_dumbbell" } else { "fig4_parkinglot" };
+            finish_figure(name, timer, &cells);
         }
-        eprintln!("[fig4 done in {:.1?}]", t0.elapsed());
+        eprintln!("[fig4 total {:.1}s]", t0.elapsed().as_secs_f64());
     }
 
-    if which.contains(&"ext") {
+    if cli.which.iter().any(|w| w == "ext") {
         // Extensions: route flaps and MANET churn (not paper figures; not
         // part of `all`).
-        let t0 = Instant::now();
         let variants = [
             experiments::Variant::TcpPr,
             experiments::Variant::Sack,
@@ -74,6 +135,7 @@ fn main() {
             experiments::Variant::Eifel,
             experiments::Variant::Door,
         ];
+        let timer = FigureTimer::start();
         let flap = experiments::routeflap::run_comparison(
             &variants,
             experiments::routeflap::RouteFlapConfig::default(),
@@ -81,8 +143,8 @@ fn main() {
             1,
         );
         println!("{}", experiments::routeflap::format_table(&flap));
-        fs::write("results/routeflap.json", serde_json::to_string_pretty(&flap).unwrap())
-            .unwrap();
+        finish_figure("routeflap", timer, &flap);
+        let timer = FigureTimer::start();
         let churn: Vec<_> = variants
             .iter()
             .map(|&v| {
@@ -95,29 +157,24 @@ fn main() {
             })
             .collect();
         println!("{}", experiments::manet::format_table(&churn));
-        fs::write("results/manet.json", serde_json::to_string_pretty(&churn).unwrap()).unwrap();
-        eprintln!("[ext done in {:.1?}]", t0.elapsed());
+        finish_figure("manet", timer, &churn);
     }
 
-    if all || which.contains(&"ablations") {
-        let t0 = Instant::now();
+    if wants("ablations") {
+        let timer = FigureTimer::start();
         let results = experiments::ablations::run_all(plan, 1);
         println!("{}", experiments::ablations::format_table(&results));
-        fs::write("results/ablations.json", serde_json::to_string_pretty(&results).unwrap())
-            .unwrap();
-        eprintln!("[ablations done in {:.1?}]", t0.elapsed());
+        finish_figure("ablations", timer, &results);
     }
 
-    if all || which.contains(&"fig6") {
-        let t0 = Instant::now();
-        let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
+    if wants("fig6") {
+        let epsilons: &[f64] = if cli.quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
         let variants: &[Variant] = &Variant::FIGURE6;
         for delay in [10u64, 60u64] {
+            let timer = FigureTimer::start();
             let points = fig6::run_figure6(delay, variants, epsilons, plan, 1);
             println!("{}", fig6::format_table(&points));
-            let name = format!("results/fig6_{delay}ms.json");
-            fs::write(name, serde_json::to_string_pretty(&points).unwrap()).unwrap();
+            finish_figure(&format!("fig6_{delay}ms"), timer, &points);
         }
-        eprintln!("[fig6 done in {:.1?}]", t0.elapsed());
     }
 }

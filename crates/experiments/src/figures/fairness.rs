@@ -4,13 +4,15 @@
 
 use netsim::ids::LinkId;
 use netsim::sim::Simulator;
+use netsim::telemetry::Sampler;
+use netsim::trace::{TraceConfig, TraceSink};
 use tcp_pr::{TcpPrConfig, TcpPrSender};
 use transport::host::{attach_flow, FlowHandle, FlowOptions};
 
 use baselines::sack::{SackConfig, SackSender};
 
 use crate::metrics::{cov, mean, normalized_throughput};
-use crate::runner::{flow_ids, measure_window, staggered_start, MeasurePlan};
+use crate::runner::{flow_ids, measure_window_with, staggered_start, MeasurePlan};
 use crate::topologies::{dumbbell, parking_lot, DumbbellConfig, ParkingLotConfig};
 
 /// Which topology the fairness run uses.
@@ -45,11 +47,7 @@ pub struct FairnessParams {
 
 impl Default for FairnessParams {
     fn default() -> Self {
-        FairnessParams {
-            plan: MeasurePlan::default(),
-            pr_config: TcpPrConfig::default(),
-            seed: 1,
-        }
+        FairnessParams { plan: MeasurePlan::default(), pr_config: TcpPrConfig::default(), seed: 1 }
     }
 }
 
@@ -77,6 +75,21 @@ pub struct FairnessResult {
     pub loss_rate_pct: f64,
 }
 
+/// Optional instrumentation threaded through a fairness run.
+///
+/// The fairness harness builds its simulator internally, so telemetry
+/// consumers cannot reach in directly; this carries their hooks across.
+#[derive(Default)]
+pub struct FairnessTelemetry<'a> {
+    /// Streaming sink receiving every trace record of the first test flow
+    /// (always a TCP-PR flow). The in-memory buffer stays a small ring;
+    /// the sink gets the complete stream.
+    pub trace_sink: Option<Box<dyn TraceSink>>,
+    /// Sampler driving the measurement clock, probing on its grid through
+    /// warm-up and the window.
+    pub sampler: Option<&'a mut Sampler>,
+}
+
 /// Runs `n_flows` test flows (alternating TCP-PR / TCP-SACK) over the given
 /// topology, with the paper's cross traffic when the topology is the
 /// parking lot.
@@ -88,6 +101,20 @@ pub fn run_fairness(
     topology: FairnessTopology,
     n_flows: usize,
     params: &FairnessParams,
+) -> FairnessResult {
+    run_fairness_with(topology, n_flows, params, FairnessTelemetry::default())
+}
+
+/// [`run_fairness`] with trace export and/or sim-time sampling attached.
+///
+/// # Panics
+///
+/// Panics if `n_flows` is zero or odd.
+pub fn run_fairness_with(
+    topology: FairnessTopology,
+    n_flows: usize,
+    params: &FairnessParams,
+    telemetry: FairnessTelemetry<'_>,
 ) -> FairnessResult {
     assert!(n_flows >= 2 && n_flows.is_multiple_of(2), "need an even, positive number of flows");
 
@@ -110,10 +137,17 @@ pub fn run_fairness(
 
     // Test flows: even index → TCP-PR, odd index → TCP-SACK.
     let ids = flow_ids(0, n_flows);
+    if let Some(sink) = telemetry.trace_sink {
+        // Trace the first TCP-PR flow: stream everything to the sink,
+        // buffer only a small recent window in memory.
+        sim.enable_trace_with(TraceConfig::new(&ids[..1], 4096).keep_latest());
+        sim.set_trace_sink(sink);
+    }
     let mut pr_handles: Vec<FlowHandle> = Vec::new();
     let mut sack_handles: Vec<FlowHandle> = Vec::new();
     for (i, &flow) in ids.iter().enumerate() {
-        let opts = FlowOptions { start_at: staggered_start(i, params.seed), ..FlowOptions::default() };
+        let opts =
+            FlowOptions { start_at: staggered_start(i, params.seed), ..FlowOptions::default() };
         if i % 2 == 0 {
             let algo = TcpPrSender::new(params.pr_config);
             pr_handles.push(attach_flow(&mut sim, flow, src, dst, algo, opts));
@@ -126,14 +160,16 @@ pub fn run_fairness(
     // Cross traffic: long-lived TCP-SACK flows (Section 4).
     for (i, &(cs, cd)) in cross.iter().enumerate() {
         let flow = netsim::ids::FlowId::from_raw((n_flows + i) as u32);
-        let opts = FlowOptions { start_at: staggered_start(n_flows + i, params.seed), ..FlowOptions::default() };
+        let opts = FlowOptions {
+            start_at: staggered_start(n_flows + i, params.seed),
+            ..FlowOptions::default()
+        };
         attach_flow(&mut sim, flow, cs, cd, SackSender::new(SackConfig::default()), opts);
     }
 
     // Measure all test flows in one pass (order: PR flows, then SACK flows).
-    let all: Vec<FlowHandle> =
-        pr_handles.iter().chain(sack_handles.iter()).copied().collect();
-    let bytes = measure_window(&mut sim, &all, params.plan);
+    let all: Vec<FlowHandle> = pr_handles.iter().chain(sack_handles.iter()).copied().collect();
+    let bytes = measure_window_with(&mut sim, &all, params.plan, telemetry.sampler);
     let xs: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
     let normalized = normalized_throughput(&xs);
     let (pr_normalized, sack_normalized) =
@@ -221,12 +257,43 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_hooks_observe_the_run() {
+        use netsim::time::{SimDuration, SimTime};
+        use netsim::trace::{TraceRecord, TraceSink};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct CountingSink(Rc<Cell<u64>>);
+        impl TraceSink for CountingSink {
+            fn write_record(&mut self, _: &TraceRecord) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+
+        let seen = Rc::new(Cell::new(0u64));
+        let mut sampler = Sampler::new(SimDuration::from_secs(5));
+        sampler.add_probe("events", Box::new(|sim| sim.stats().events as f64));
+        let r = run_fairness_with(
+            FairnessTopology::Dumbbell(DumbbellConfig::default()),
+            2,
+            &quick_params(19),
+            FairnessTelemetry {
+                trace_sink: Some(Box::new(CountingSink(Rc::clone(&seen)))),
+                sampler: Some(&mut sampler),
+            },
+        );
+        assert!(r.mean_pr > 0.0);
+        assert!(seen.get() > 1000, "flow 0's packet lifecycle streams to the sink");
+        let events = &sampler.series()[0];
+        // Quick plan = 25 s total at a 5 s period, from t = 0: 6 samples.
+        assert_eq!(events.points.len(), 6);
+        assert_eq!(events.points.last().unwrap().0, SimTime::from_secs_f64(25.0));
+        assert!(events.values().windows(2).all(|w| w[0] <= w[1]), "event count is monotone");
+    }
+
+    #[test]
     #[should_panic(expected = "even, positive")]
     fn odd_flow_count_rejected() {
-        run_fairness(
-            FairnessTopology::Dumbbell(DumbbellConfig::default()),
-            3,
-            &quick_params(1),
-        );
+        run_fairness(FairnessTopology::Dumbbell(DumbbellConfig::default()), 3, &quick_params(1));
     }
 }

@@ -6,7 +6,11 @@
 //! parking-lot topologies. The reproduction criterion is that both protocol
 //! means sit near 1 across the sweep.
 
-use crate::figures::fairness::{run_fairness, FairnessParams, FairnessResult, FairnessTopology};
+use netsim::trace::TraceSink;
+
+use crate::figures::fairness::{
+    run_fairness_with, FairnessParams, FairnessResult, FairnessTelemetry, FairnessTopology,
+};
 use crate::runner::MeasurePlan;
 use crate::topologies::{DumbbellConfig, ParkingLotConfig};
 
@@ -24,6 +28,19 @@ pub struct Fig2Series {
 
 /// Runs Figure 2 for both topologies.
 pub fn run_figure2(plan: MeasurePlan, seed: u64, flow_counts: &[usize]) -> Vec<Fig2Series> {
+    run_figure2_with(plan, seed, flow_counts, None)
+}
+
+/// [`run_figure2`] with an optional trace sink. The sink, if given, is
+/// attached to the *first* run of the sweep (dumbbell, smallest flow
+/// count) and streams the complete packet trace of that run's first
+/// TCP-PR flow; tracing every run of the sweep would dwarf the results.
+pub fn run_figure2_with(
+    plan: MeasurePlan,
+    seed: u64,
+    flow_counts: &[usize],
+    mut trace_sink: Option<Box<dyn TraceSink>>,
+) -> Vec<Fig2Series> {
     let params = FairnessParams { plan, seed, ..FairnessParams::default() };
     let topologies = [
         FairnessTopology::Dumbbell(DumbbellConfig::default()),
@@ -33,7 +50,16 @@ pub fn run_figure2(plan: MeasurePlan, seed: u64, flow_counts: &[usize]) -> Vec<F
         .iter()
         .map(|t| Fig2Series {
             topology: t.label().to_owned(),
-            rows: flow_counts.iter().map(|&n| run_fairness(*t, n, &params)).collect(),
+            rows: flow_counts
+                .iter()
+                .map(|&n| {
+                    let telemetry = FairnessTelemetry {
+                        trace_sink: trace_sink.take(),
+                        ..FairnessTelemetry::default()
+                    };
+                    run_fairness_with(*t, n, &params, telemetry)
+                })
+                .collect(),
         })
         .collect()
 }

@@ -52,11 +52,8 @@ pub fn run_figure4(
             } else {
                 FairnessTopology::ParkingLot(ParkingLotConfig::default())
             };
-            let params = FairnessParams {
-                plan,
-                seed,
-                pr_config: TcpPrConfig::with_alpha_beta(alpha, beta),
-            };
+            let params =
+                FairnessParams { plan, seed, pr_config: TcpPrConfig::with_alpha_beta(alpha, beta) };
             let r = run_fairness(topology, n_flows, &params);
             cells.push(Fig4Cell {
                 topology: r.topology.clone(),

@@ -10,7 +10,9 @@
 //!   (Section 4 formulas), plus Jain fairness as an extension;
 //! - [`variants`]: a factory over every sender variant;
 //! - [`runner`]: warm-up/measure windows ("data sent during the last 60 s");
-//! - [`figures`]: one harness per figure (2, 3, 4 and 6).
+//! - [`figures`]: one harness per figure (2, 3, 4 and 6);
+//! - [`telemetry`]: run-health blocks ([`FigureTimer`](telemetry::FigureTimer))
+//!   and the `results/*.json` artifact wrapper.
 //!
 //! The `repro` binary (`cargo run -p experiments --bin repro --release`)
 //! runs every figure at paper scale and prints the tables recorded in
@@ -45,6 +47,7 @@ pub mod manet;
 pub mod metrics;
 pub mod routeflap;
 pub mod runner;
+pub mod telemetry;
 pub mod topologies;
 pub mod validation;
 pub mod variants;

@@ -149,12 +149,7 @@ mod tests {
 
     #[test]
     fn flaps_reorder_traffic() {
-        let r = run_route_flap(
-            Variant::TcpPr,
-            RouteFlapConfig::default(),
-            MeasurePlan::quick(),
-            5,
-        );
+        let r = run_route_flap(Variant::TcpPr, RouteFlapConfig::default(), MeasurePlan::quick(), 5);
         assert!(r.late_arrivals > 50, "flaps must reorder: {} late", r.late_arrivals);
         assert!(r.mean_displacement > 1.0);
     }
@@ -165,12 +160,7 @@ mod tests {
         let plan = MeasurePlan::quick();
         let pr = run_route_flap(Variant::TcpPr, cfg, plan, 5);
         let nr = run_route_flap(Variant::NewReno, cfg, plan, 5);
-        assert!(
-            pr.mbps > 1.3 * nr.mbps,
-            "TCP-PR {} vs NewReno {} under flaps",
-            pr.mbps,
-            nr.mbps
-        );
+        assert!(pr.mbps > 1.3 * nr.mbps, "TCP-PR {} vs NewReno {} under flaps", pr.mbps, nr.mbps);
         assert!(pr.mbps > 5.0, "TCP-PR should hold most of the path: {}", pr.mbps);
     }
 
@@ -181,10 +171,8 @@ mod tests {
         // higher sequence numbers), so reordering is far below the flapped
         // case and throughput is near line rate.
         let plan = MeasurePlan::quick();
-        let pinned = RouteFlapConfig {
-            flap_period: SimDuration::from_secs(10_000),
-            ..Default::default()
-        };
+        let pinned =
+            RouteFlapConfig { flap_period: SimDuration::from_secs(10_000), ..Default::default() };
         let calm = run_route_flap(Variant::TcpPr, pinned, plan, 5);
         let flapped = run_route_flap(Variant::TcpPr, RouteFlapConfig::default(), plan, 5);
         assert!(

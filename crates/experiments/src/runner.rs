@@ -4,6 +4,7 @@
 
 use netsim::ids::FlowId;
 use netsim::sim::Simulator;
+use netsim::telemetry::Sampler;
 use netsim::time::{SimDuration, SimTime};
 use transport::host::{receiver_host, FlowHandle};
 
@@ -38,10 +39,27 @@ impl MeasurePlan {
 /// Runs the simulation through the plan and returns, per flow handle, the
 /// bytes delivered in order during the measurement window.
 pub fn measure_window(sim: &mut Simulator, handles: &[FlowHandle], plan: MeasurePlan) -> Vec<u64> {
-    sim.run_until(SimTime::ZERO + plan.warmup);
+    measure_window_with(sim, handles, plan, None)
+}
+
+/// [`measure_window`] with an optional telemetry [`Sampler`] driving the
+/// clock: the sampler probes the simulation on its grid through warm-up
+/// *and* the measurement window, so time series cover the whole run.
+pub fn measure_window_with(
+    sim: &mut Simulator,
+    handles: &[FlowHandle],
+    plan: MeasurePlan,
+    sampler: Option<&mut Sampler>,
+) -> Vec<u64> {
+    let mut sampler = sampler;
+    let mut advance = |sim: &mut Simulator, until: SimTime| match sampler.as_deref_mut() {
+        Some(s) => s.advance(sim, until),
+        None => sim.run_until(until),
+    };
+    advance(sim, SimTime::ZERO + plan.warmup);
     let before: Vec<u64> =
         handles.iter().map(|h| receiver_host(sim, h.receiver).received_unique_bytes()).collect();
-    sim.run_until(SimTime::ZERO + plan.total());
+    advance(sim, SimTime::ZERO + plan.total());
     handles
         .iter()
         .zip(before)
@@ -88,16 +106,38 @@ mod tests {
             TcpPrSender::new(TcpPrConfig::default()),
             FlowOptions::default(),
         );
-        let plan = MeasurePlan {
-            warmup: SimDuration::from_secs(5),
-            window: SimDuration::from_secs(10),
-        };
+        let plan =
+            MeasurePlan { warmup: SimDuration::from_secs(5), window: SimDuration::from_secs(10) };
         let bytes = measure_window(&mut d.sim, &[h], plan);
         assert_eq!(bytes.len(), 1);
         // 30 Mbps bottleneck for 10 s = at most 37.5 MB; a healthy flow
         // should fill most of it, and certainly not exceed it.
         assert!(bytes[0] > 20_000_000, "got {}", bytes[0]);
         assert!(bytes[0] <= 37_500_000, "got {}", bytes[0]);
+    }
+
+    #[test]
+    fn measure_window_with_sampler_covers_the_whole_run() {
+        let mut d = dumbbell(5, DumbbellConfig::default());
+        let h = attach_flow(
+            &mut d.sim,
+            FlowId::from_raw(0),
+            d.src,
+            d.dst,
+            TcpPrSender::new(TcpPrConfig::default()),
+            FlowOptions::default(),
+        );
+        let plan =
+            MeasurePlan { warmup: SimDuration::from_secs(2), window: SimDuration::from_secs(3) };
+        let mut sampler = Sampler::new(SimDuration::from_millis(500));
+        sampler.add_probe("cwnd", transport::telemetry::cwnd_probe::<TcpPrSender>(h.sender));
+        let bytes = measure_window_with(&mut d.sim, &[h], plan, Some(&mut sampler));
+        assert!(bytes[0] > 0);
+        let cwnd = &sampler.series()[0];
+        // 5 s at a 0.5 s period, sampled from t = 0 inclusive: 11 points.
+        assert_eq!(cwnd.points.len(), 11);
+        assert_eq!(cwnd.points.last().unwrap().0, SimTime::from_secs_f64(5.0));
+        assert!(cwnd.max().unwrap() > 1.0, "cwnd must have grown past slow-start");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Run-health bookkeeping for experiment artifacts.
+//!
+//! Every figure the `repro` binary regenerates gets a [`RunHealth`] block —
+//! events processed, events per wall-clock second, peak event-heap size,
+//! dropped trace records, wall time — embedded next to its results in
+//! `results/*.json`. A [`FigureTimer`] brackets one figure: it resets the
+//! netsim per-thread session accumulator on start and folds the accumulated
+//! stats with the wall clock on finish.
+
+use std::time::Instant;
+
+use netsim::telemetry::{session, RunHealth};
+
+/// Wall-clock + session-stats bracket around one figure's worth of
+/// simulations.
+///
+/// Dropping a [`netsim::sim::Simulator`] folds its event count, peak heap
+/// size and dropped-trace-record count into a per-thread accumulator;
+/// `FigureTimer::start` clears that accumulator so the eventual
+/// [`RunHealth`] covers exactly the simulations run in between.
+#[derive(Debug)]
+pub struct FigureTimer {
+    t0: Instant,
+}
+
+impl FigureTimer {
+    /// Starts timing: resets the session accumulator and the wall clock.
+    pub fn start() -> Self {
+        session::reset();
+        FigureTimer { t0: Instant::now() }
+    }
+
+    /// Stops timing and folds the session stats into a [`RunHealth`].
+    pub fn finish(self) -> RunHealth {
+        RunHealth::from_session(session::snapshot(), self.t0.elapsed().as_secs_f64())
+    }
+}
+
+/// Wraps figure results and their run-health block into the artifact
+/// object written to `results/*.json`:
+///
+/// ```json
+/// { "results": <results>, "run_health": { "events_processed": ..., ... } }
+/// ```
+pub fn artifact_json<T: serde::Serialize + ?Sized>(results: &T, health: &RunHealth) -> String {
+    let wrapped = serde_json::Value::Object(vec![
+        ("results".to_owned(), serde_json::to_value(results)),
+        ("run_health".to_owned(), serde_json::to_value(health)),
+    ]);
+    serde_json::to_string_pretty(&wrapped).expect("shim serializer is total")
+}
+
+/// Prints a stderr warning if the run lost trace records outright
+/// (overflowed the in-memory buffer with no sink attached). Returns true
+/// if it warned.
+pub fn warn_if_dropped(figure: &str, health: &RunHealth) -> bool {
+    if health.dropped_trace_records > 0 {
+        eprintln!(
+            "warning: [{figure}] dropped {} trace record(s) — raise the trace \
+             buffer capacity or attach a streaming sink",
+            health.dropped_trace_records
+        );
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::ids::FlowId;
+    use netsim::sim::SimBuilder;
+    use netsim::time::SimTime;
+    use tcp_pr::{TcpPrConfig, TcpPrSender};
+    use transport::host::{attach_flow, FlowOptions};
+
+    use crate::topologies::{dumbbell, DumbbellConfig};
+
+    #[test]
+    fn figure_timer_brackets_the_sims_in_between() {
+        // A sim dropped *before* the bracket must not leak into it.
+        {
+            let mut sim = SimBuilder::new(1).build();
+            sim.run_until(SimTime::from_secs_f64(0.001));
+        }
+        let timer = FigureTimer::start();
+        {
+            let mut d = dumbbell(3, DumbbellConfig::default());
+            attach_flow(
+                &mut d.sim,
+                FlowId::from_raw(0),
+                d.src,
+                d.dst,
+                TcpPrSender::new(TcpPrConfig::default()),
+                FlowOptions::default(),
+            );
+            d.sim.run_until(SimTime::from_secs_f64(1.0));
+        }
+        let health = timer.finish();
+        assert_eq!(health.sims, 1, "only the bracketed sim is counted");
+        assert!(health.events_processed > 100);
+        assert!(health.peak_event_heap > 0);
+        assert!(health.events_per_sec > 0.0);
+        assert_eq!(health.dropped_trace_records, 0);
+    }
+
+    #[test]
+    fn artifact_embeds_results_and_run_health() {
+        let timer = FigureTimer::start();
+        let health = timer.finish();
+        let rows = vec![1.0_f64, 2.0];
+        let json = artifact_json(&rows, &health);
+        assert!(json.contains("\"results\""));
+        assert!(json.contains("\"run_health\""));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"dropped_trace_records\""));
+    }
+
+    #[test]
+    fn warns_only_when_records_were_lost() {
+        let timer = FigureTimer::start();
+        let mut health = timer.finish();
+        assert!(!warn_if_dropped("test", &health));
+        health.dropped_trace_records = 3;
+        assert!(warn_if_dropped("test", &health));
+    }
+}

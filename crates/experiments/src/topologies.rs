@@ -73,13 +73,21 @@ pub fn dumbbell(seed: u64, cfg: DumbbellConfig) -> Dumbbell {
     let r1 = b.add_node();
     let r2 = b.add_node();
     let dst = b.add_node();
-    b.add_duplex(src, r1, LinkConfig::mbps_ms(cfg.access_mbps, cfg.access_delay_ms, cfg.queue_packets));
+    b.add_duplex(
+        src,
+        r1,
+        LinkConfig::mbps_ms(cfg.access_mbps, cfg.access_delay_ms, cfg.queue_packets),
+    );
     let (bottleneck, _) = b.add_duplex(
         r1,
         r2,
         LinkConfig::mbps_ms(cfg.bottleneck_mbps, cfg.bottleneck_delay_ms, cfg.queue_packets),
     );
-    b.add_duplex(r2, dst, LinkConfig::mbps_ms(cfg.access_mbps, cfg.access_delay_ms, cfg.queue_packets));
+    b.add_duplex(
+        r2,
+        dst,
+        LinkConfig::mbps_ms(cfg.access_mbps, cfg.access_delay_ms, cfg.queue_packets),
+    );
     Dumbbell { sim: b.build(), src, dst, bottleneck }
 }
 
@@ -177,8 +185,7 @@ pub fn parking_lot(seed: u64, cfg: ParkingLotConfig) -> ParkingLot {
     b.add_duplex(n3, cd2, bb(cfg.backbone_mbps));
     b.add_duplex(n4, cd3, bb(cfg.backbone_mbps));
 
-    let cross_pairs =
-        vec![(cs1, cd1), (cs1, cd2), (cs1, cd3), (cs2, cd2), (cs2, cd3), (cs3, cd3)];
+    let cross_pairs = vec![(cs1, cd1), (cs1, cd2), (cs1, cd3), (cs2, cd2), (cs2, cd3), (cs3, cd3)];
     ParkingLot { sim: b.build(), src: s, dst: d, cross_pairs, chain: [c12, c23, c34] }
 }
 
@@ -340,10 +347,7 @@ mod tests {
         let paths = p.sim.graph().simple_paths(cs1, cd3, 16, 64);
         assert!(!paths.is_empty());
         for link in p.chain {
-            assert!(
-                paths[0].links.contains(&link),
-                "CS1→CD3 must traverse chain link {link}"
-            );
+            assert!(paths[0].links.contains(&link), "CS1→CD3 must traverse chain link {link}");
         }
     }
 

@@ -61,7 +61,11 @@ pub fn mathis_point(p: f64, seed: u64) -> MathisPoint {
 
     let mss_bits = 8_000.0;
     let predicted = mss_bits / rtt_s * (1.5f64 / p).sqrt() / 1e6;
-    MathisPoint { loss: p, measured_mbps: mbps(delivered, window.as_secs_f64()), predicted_mbps: predicted }
+    MathisPoint {
+        loss: p,
+        measured_mbps: mbps(delivered, window.as_secs_f64()),
+        predicted_mbps: predicted,
+    }
 }
 
 /// Measured vs predicted goodput for a window-capped flow on a long path.

@@ -39,8 +39,14 @@ pub enum Variant {
 
 impl Variant {
     /// The six protocols of the paper's Figure 6, in legend order.
-    pub const FIGURE6: [Variant; 6] =
-        [Variant::TcpPr, Variant::TdFr, Variant::DsackNm, Variant::IncBy1, Variant::IncByN, Variant::Ewma];
+    pub const FIGURE6: [Variant; 6] = [
+        Variant::TcpPr,
+        Variant::TdFr,
+        Variant::DsackNm,
+        Variant::IncBy1,
+        Variant::IncByN,
+        Variant::Ewma,
+    ];
 
     /// All variants, including extensions.
     pub const ALL: [Variant; 11] = [
@@ -105,7 +111,9 @@ impl Variant {
             Variant::NewReno => Box::new(RenoSender::new(reno)),
             Variant::Reno => Box::new(RenoSender::new(RenoConfig { newreno: false, ..reno })),
             Variant::Eifel => Box::new(EifelSender::new(reno)),
-            Variant::Door => Box::new(DoorSender::new(DoorConfig { base: reno, ..DoorConfig::default() })),
+            Variant::Door => {
+                Box::new(DoorSender::new(DoorConfig { base: reno, ..DoorConfig::default() }))
+            }
         }
     }
 }

@@ -1,0 +1,63 @@
+//! End-to-end check of the `repro` binary's telemetry surface:
+//! `repro fig2 --quick --telemetry-dir <dir>` must stream a JSONL packet
+//! trace into `<dir>` and embed a run-health block in `results/fig2.json`.
+
+use std::fs;
+use std::process::Command;
+
+#[test]
+fn repro_quick_fig2_emits_trace_and_run_health() {
+    let work = std::env::temp_dir().join(format!("repro-telemetry-{}", std::process::id()));
+    let telemetry = work.join("telemetry");
+    fs::create_dir_all(&work).expect("create scratch dir");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .current_dir(&work)
+        .args(["fig2", "--quick", "--telemetry-dir"])
+        .arg(&telemetry)
+        .output()
+        .expect("run repro");
+    assert!(
+        out.status.success(),
+        "repro failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 2"), "paper-style table on stdout");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("warning:"),
+        "no trace records may be lost when a sink is attached: {stderr}"
+    );
+
+    // Run-health block embedded in the artifact.
+    let artifact = fs::read_to_string(work.join("results/fig2.json")).expect("fig2 artifact");
+    assert!(artifact.contains("\"results\""), "results wrapper");
+    assert!(artifact.contains("\"mean_pr\""), "fairness rows inside the wrapper");
+    for key in [
+        "\"run_health\"",
+        "\"events_processed\"",
+        "\"events_per_sec\"",
+        "\"peak_event_heap\"",
+        "\"dropped_trace_records\"",
+        "\"wall_time_s\"",
+    ] {
+        assert!(artifact.contains(key), "artifact must embed {key}");
+    }
+
+    // Complete JSONL packet trace of the first run's first TCP-PR flow.
+    let trace = fs::read_to_string(telemetry.join("fig2_flow0.jsonl")).expect("fig2 JSONL trace");
+    let mut lines = 0usize;
+    for line in trace.lines() {
+        lines += 1;
+        assert!(line.starts_with('{') && line.ends_with('}'), "JSON object per line: {line}");
+    }
+    assert!(lines > 10_000, "a 25 s quick run traces many records, got {lines}");
+    let first = trace.lines().next().expect("non-empty trace");
+    for key in ["\"at_ns\"", "\"event\"", "\"flow\":\"f0\"", "\"uid\"", "\"ack\""] {
+        assert!(first.contains(key), "trace schema field {key} in {first}");
+    }
+
+    fs::remove_dir_all(&work).ok();
+}

@@ -92,6 +92,7 @@ impl Ord for Scheduled {
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
+    peak_len: usize,
 }
 
 impl EventQueue {
@@ -105,6 +106,9 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, kind });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -125,6 +129,12 @@ impl EventQueue {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events seen so far
+    /// (run-health diagnostic; see [`crate::telemetry`]).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -169,5 +179,19 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(SimTime::from_nanos(1), bp());
+        q.schedule(SimTime::from_nanos(2), bp());
+        q.schedule(SimTime::from_nanos(3), bp());
+        q.pop();
+        q.pop();
+        q.schedule(SimTime::from_nanos(4), bp());
+        assert_eq!(q.peak_len(), 3, "peak is the high-water mark, not current len");
+        assert_eq!(q.len(), 2);
     }
 }

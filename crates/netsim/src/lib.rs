@@ -41,6 +41,7 @@ pub mod packet;
 pub mod queue;
 pub mod routing;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod traffic;
@@ -50,4 +51,6 @@ pub use ids::{AgentId, FlowId, LinkId, NodeId};
 pub use link::LinkConfig;
 pub use packet::{AckHeader, DataHeader, Packet, PacketKind, ACK_PACKET_BYTES, DATA_PACKET_BYTES};
 pub use sim::{SimBuilder, SimStats, Simulator};
+pub use telemetry::{RunHealth, Sampler, TimeSeries};
 pub use time::{SimDuration, SimTime};
+pub use trace::{JsonlTraceSink, Ns2TraceSink, TraceConfig, TraceMode, TraceRecord, TraceSink};

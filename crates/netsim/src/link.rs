@@ -153,9 +153,8 @@ impl Link {
     /// Creates an idle link between `from` and `to`.
     pub fn new(from: NodeId, to: NodeId, config: LinkConfig) -> Self {
         let queue = LinkQueue::new(config.queue_packets, config.policy.clone());
-        let queue_high = config
-            .diffserv
-            .map(|_| LinkQueue::new(config.queue_packets, config.policy.clone()));
+        let queue_high =
+            config.diffserv.map(|_| LinkQueue::new(config.queue_packets, config.policy.clone()));
         Link {
             from,
             to,
@@ -180,9 +179,7 @@ impl Link {
         let Some(ds) = self.config.diffserv else { return self.queue.dequeue() };
         let high = self.queue_high.as_mut().expect("diffserv link has a high queue");
         match ds.scheduler {
-            DiffservScheduler::StrictPriority => {
-                high.dequeue().or_else(|| self.queue.dequeue())
-            }
+            DiffservScheduler::StrictPriority => high.dequeue().or_else(|| self.queue.dequeue()),
             DiffservScheduler::WeightedRoundRobin { hi, lo } => {
                 let cycle = hi + lo;
                 let serve_high = self.wrr_credit % cycle < hi;
@@ -253,8 +250,8 @@ mod tests {
 
     #[test]
     fn strict_priority_serves_high_first() {
-        let cfg = LinkConfig::mbps_ms(10.0, 1, 10)
-            .with_diffserv(0.5, DiffservScheduler::StrictPriority);
+        let cfg =
+            LinkConfig::mbps_ms(10.0, 1, 10).with_diffserv(0.5, DiffservScheduler::StrictPriority);
         let mut link = Link::new(NodeId::from_raw(0), NodeId::from_raw(1), cfg);
         link.queue.enqueue(pkt(0), 0.0);
         link.queue_high.as_mut().unwrap().enqueue(pkt(1), 0.0);
@@ -291,8 +288,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "marking probability")]
     fn invalid_marking_rejected() {
-        let _ = LinkConfig::mbps_ms(1.0, 1, 10)
-            .with_diffserv(1.5, DiffservScheduler::StrictPriority);
+        let _ =
+            LinkConfig::mbps_ms(1.0, 1, 10).with_diffserv(1.5, DiffservScheduler::StrictPriority);
     }
 
     #[test]

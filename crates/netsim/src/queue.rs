@@ -179,7 +179,8 @@ mod tests {
 
     #[test]
     fn red_always_accepts_below_min_thresh() {
-        let mut q = LinkQueue::new(10, QueuePolicy::Red { min_thresh: 3, max_thresh: 8, max_prob: 1.0 });
+        let mut q =
+            LinkQueue::new(10, QueuePolicy::Red { min_thresh: 3, max_thresh: 8, max_prob: 1.0 });
         for i in 0..3 {
             assert_eq!(q.enqueue(pkt(i), 0.0), EnqueueOutcome::Enqueued);
         }
@@ -187,7 +188,8 @@ mod tests {
 
     #[test]
     fn red_always_drops_at_max_thresh() {
-        let mut q = LinkQueue::new(10, QueuePolicy::Red { min_thresh: 0, max_thresh: 2, max_prob: 0.0 });
+        let mut q =
+            LinkQueue::new(10, QueuePolicy::Red { min_thresh: 0, max_thresh: 2, max_prob: 0.0 });
         assert_eq!(q.enqueue(pkt(0), 0.99), EnqueueOutcome::Enqueued);
         assert_eq!(q.enqueue(pkt(1), 0.99), EnqueueOutcome::Enqueued);
         assert_eq!(q.enqueue(pkt(2), 0.99), EnqueueOutcome::Dropped);
@@ -195,10 +197,11 @@ mod tests {
 
     #[test]
     fn red_probabilistic_between_thresholds() {
-        let mut q = LinkQueue::new(100, QueuePolicy::Red { min_thresh: 1, max_thresh: 3, max_prob: 1.0 });
+        let mut q =
+            LinkQueue::new(100, QueuePolicy::Red { min_thresh: 1, max_thresh: 3, max_prob: 1.0 });
         q.enqueue(pkt(0), 0.0); // len 0 < min_thresh, accepted
         q.enqueue(pkt(1), 0.9); // len 1: p = 1.0 * (1-1)/2 = 0 -> accept
-        // len 2: p = 1.0 * (2-1)/2 = 0.5; uniform 0.1 < p -> drop
+                                // len 2: p = 1.0 * (2-1)/2 = 0.5; uniform 0.1 < p -> drop
         assert_eq!(q.enqueue(pkt(2), 0.1), EnqueueOutcome::Dropped);
         // uniform 0.9 >= 0.5 -> accept
         assert_eq!(q.enqueue(pkt(3), 0.9), EnqueueOutcome::Enqueued);

@@ -44,7 +44,10 @@ impl Graph {
     pub fn new(node_count: usize, edges: &[(NodeId, NodeId, LinkId, SimDuration)]) -> Self {
         let mut adj = vec![Vec::new(); node_count];
         for &(from, to, link, delay) in edges {
-            assert!(from.index() < node_count && to.index() < node_count, "edge references unknown node");
+            assert!(
+                from.index() < node_count && to.index() < node_count,
+                "edge references unknown node"
+            );
             adj[from.index()].push((to, link, delay));
         }
         Graph { node_count, adj }
@@ -99,12 +102,27 @@ impl Graph {
     /// Enumerates all simple (loop-free) paths from `src` to `dst`, bounded
     /// by `max_hops` links per path and `max_paths` paths in total, sorted by
     /// ascending delay.
-    pub fn simple_paths(&self, src: NodeId, dst: NodeId, max_hops: usize, max_paths: usize) -> Vec<Path> {
+    pub fn simple_paths(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        max_hops: usize,
+        max_paths: usize,
+    ) -> Vec<Path> {
         let mut out: Vec<Path> = Vec::new();
         let mut visited = vec![false; self.node_count];
         let mut stack: Vec<LinkId> = Vec::new();
         visited[src.index()] = true;
-        self.dfs_paths(src, dst, max_hops, max_paths, &mut visited, &mut stack, SimDuration::ZERO, &mut out);
+        self.dfs_paths(
+            src,
+            dst,
+            max_hops,
+            max_paths,
+            &mut visited,
+            &mut stack,
+            SimDuration::ZERO,
+            &mut out,
+        );
         out.sort_by_key(|p| (p.delay, p.links.len()));
         out
     }
@@ -171,10 +189,8 @@ pub fn epsilon_weights(delays: &[SimDuration], epsilon: f64) -> Vec<f64> {
     assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be non-negative");
     let d_min = delays.iter().copied().min().expect("non-empty").as_secs_f64();
     let scale = if d_min > 0.0 { d_min } else { 1e-9 };
-    let raw: Vec<f64> = delays
-        .iter()
-        .map(|d| (-epsilon * (d.as_secs_f64() - d_min) / scale).exp())
-        .collect();
+    let raw: Vec<f64> =
+        delays.iter().map(|d| (-epsilon * (d.as_secs_f64() - d_min) / scale).exp()).collect();
     let total: f64 = raw.iter().sum();
     raw.into_iter().map(|w| w / total).collect()
 }

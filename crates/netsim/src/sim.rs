@@ -13,7 +13,7 @@ use crate::packet::{Packet, PacketKind};
 use crate::queue::EnqueueOutcome;
 use crate::routing::{Graph, MultipathRoute, Routing};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEventKind, TraceRecord, Tracer};
+use crate::trace::{TraceConfig, TraceEventKind, TraceRecord, TraceSink, Tracer};
 
 /// Global counters kept by the simulator.
 #[derive(Debug, Default, Clone, serde::Serialize)]
@@ -179,7 +179,13 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if no path exists between the pair.
-    pub fn install_multipath(&mut self, src: NodeId, dst: NodeId, epsilon: f64, max_hops: usize) -> usize {
+    pub fn install_multipath(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        epsilon: f64,
+        max_hops: usize,
+    ) -> usize {
         let paths = self.graph.simple_paths(src, dst, max_hops, 64);
         assert!(!paths.is_empty(), "no path from {src} to {dst}");
         let n = paths.len();
@@ -241,12 +247,48 @@ impl Simulator {
     /// Enables per-packet event tracing for `flows` (empty slice = every
     /// flow), keeping at most `capacity` records. See [`crate::trace`].
     pub fn enable_trace(&mut self, flows: &[FlowId], capacity: usize) {
-        self.tracer = Some(Tracer::new(flows, capacity));
+        self.enable_trace_with(TraceConfig::new(flows, capacity));
     }
 
-    /// The trace records collected so far (empty if tracing is disabled).
-    pub fn trace_records(&self) -> &[TraceRecord] {
-        self.tracer.as_ref().map(Tracer::records).unwrap_or(&[])
+    /// Enables tracing with full control over flow filter, buffer capacity
+    /// and retention mode. See [`crate::trace`].
+    pub fn enable_trace_with(&mut self, config: TraceConfig) {
+        self.tracer = Some(Tracer::with_config(config));
+    }
+
+    /// Attaches a streaming trace sink; every trace record is forwarded to
+    /// it as it happens, independent of the in-memory buffer cap. Enables
+    /// tracing of every flow (with the default config) if not already on.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        let tracer = self
+            .tracer
+            .get_or_insert_with(|| Tracer::with_config(TraceConfig::new(&[], 1_000_000)));
+        tracer.set_sink(sink);
+    }
+
+    /// Flushes the attached trace sink, if any. Also happens automatically
+    /// when the simulator is dropped.
+    pub fn flush_trace(&mut self) {
+        if let Some(tracer) = &mut self.tracer {
+            tracer.flush_sink();
+        }
+    }
+
+    /// The buffered trace records collected so far (empty if tracing is
+    /// disabled or the buffer capacity is zero).
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.tracer.as_ref().map(Tracer::records).unwrap_or_default()
+    }
+
+    /// Trace records lost to the in-memory buffer cap (see
+    /// [`Tracer::dropped_records`]). Zero when tracing is off.
+    pub fn dropped_trace_records(&self) -> u64 {
+        self.tracer.as_ref().map(Tracer::dropped_records).unwrap_or(0)
+    }
+
+    /// High-water mark of the pending-event heap (run-health diagnostic).
+    pub fn event_heap_peak(&self) -> usize {
+        self.events.peak_len()
     }
 
     fn trace_packet(&mut self, packet: &Packet, kind: TraceEventKind) {
@@ -439,18 +481,16 @@ impl Simulator {
         if self.tracer.is_some() {
             // Pre-compute the outcome's trace before the packet moves.
             let link = &self.links[id.index()];
-            let queue = if use_high { link.queue_high.as_ref().expect("high queue") } else { &link.queue };
+            let queue =
+                if use_high { link.queue_high.as_ref().expect("high queue") } else { &link.queue };
             let will_fit = match &link.config.policy {
                 crate::queue::QueuePolicy::DropTail => queue.len() < queue.capacity_packets(),
                 // RED's decision is probabilistic; re-deriving it here would
                 // double-consume randomness, so optimistically trace Enqueued.
                 crate::queue::QueuePolicy::Red { .. } => true,
             };
-            let kind = if will_fit {
-                TraceEventKind::Enqueued(id)
-            } else {
-                TraceEventKind::QueueDrop(id)
-            };
+            let kind =
+                if will_fit { TraceEventKind::Enqueued(id) } else { TraceEventKind::QueueDrop(id) };
             self.trace_packet(&packet, kind);
         }
         let link = &mut self.links[id.index()];
@@ -530,8 +570,10 @@ impl Simulator {
                 let meta = &mut self.agent_meta[id.index()];
                 meta.timer_generation += 1;
                 let fire_at = at.max(self.now);
-                self.events
-                    .schedule(fire_at, EventKind::Timer { agent: id, generation: meta.timer_generation });
+                self.events.schedule(
+                    fire_at,
+                    EventKind::Timer { agent: id, generation: meta.timer_generation },
+                );
             }
             AgentAction::CancelTimer => {
                 self.agent_meta[id.index()].timer_generation += 1;
@@ -540,34 +582,40 @@ impl Simulator {
     }
 
     /// Injects a packet at `src` addressed to `(dst, flow)`.
-    fn inject(&mut self, src: NodeId, flow: FlowId, dst: NodeId, size_bytes: u32, kind: PacketKind) {
+    fn inject(
+        &mut self,
+        src: NodeId,
+        flow: FlowId,
+        dst: NodeId,
+        size_bytes: u32,
+        kind: PacketKind,
+    ) {
         let uid = self.next_uid;
         self.next_uid += 1;
         self.stats.injected += 1;
-        let route = self
-            .routing
-            .multipath(src, dst)
-            .map(|mp| {
-                let u = self.rng.gen::<f64>();
-                mp.pick(u).links.clone()
-            });
-        let packet = Packet {
-            uid,
-            flow,
-            src,
-            dst,
-            size_bytes,
-            kind,
-            injected_at: self.now,
-            hops: 0,
-            route,
-        };
+        let route = self.routing.multipath(src, dst).map(|mp| {
+            let u = self.rng.gen::<f64>();
+            mp.pick(u).links.clone()
+        });
+        let packet =
+            Packet { uid, flow, src, dst, size_bytes, kind, injected_at: self.now, hops: 0, route };
         self.trace_packet(&packet, TraceEventKind::Injected);
         if dst == src {
             self.deliver(src, packet);
         } else {
             self.forward(src, packet);
         }
+    }
+}
+
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        self.flush_trace();
+        crate::telemetry::session::absorb(
+            self.stats.events,
+            self.events.peak_len(),
+            self.dropped_trace_records(),
+        );
     }
 }
 
@@ -914,7 +962,7 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(2.0));
         let via_m1 = sim.link(LinkId::from_raw(2)).transmitted; // m1 → d
         let via_m2 = sim.link(LinkId::from_raw(6)).transmitted; // m2 → d
-        // ~100 packets on each side of the flap.
+                                                                // ~100 packets on each side of the flap.
         assert!((90..=110).contains(&via_m1), "via m1 = {via_m1}");
         assert!((90..=110).contains(&via_m2), "via m2 = {via_m2}");
     }
@@ -936,14 +984,14 @@ mod tests {
         let records = sim.trace_records();
         // 3 data + 3 ack packets, each: Injected, Enqueued, LinkTx, Delivered.
         assert_eq!(records.len(), 6 * 4, "got {} records", records.len());
-        let delays = analysis::one_way_delays(records);
+        let delays = analysis::one_way_delays(&records);
         assert_eq!(delays.len(), 6);
         // First data packet: 0.8 ms serialization + 10 ms propagation.
         assert_eq!(delays[0].1, SimDuration::from_micros(10_800));
         // Each data packet traversed exactly the a→c link.
-        let paths = analysis::paths(records);
+        let paths = analysis::paths(&records);
         assert_eq!(paths[&0], vec![LinkId::from_raw(0)]);
-        assert_eq!(analysis::delivery_reorder_count(records), 0);
+        assert_eq!(analysis::delivery_reorder_count(&records), 0);
         // Counting sanity: 6 Injected, 6 Delivered.
         let injected =
             records.iter().filter(|r| matches!(r.kind, TraceEventKind::Injected)).count();
@@ -963,7 +1011,7 @@ mod tests {
         sim.add_agent(a, flow, Box::new(Blaster { dst: c, count: 10, acked: Vec::new() }));
         sim.add_agent(c, flow, Box::new(Echo { peer: a, received: Vec::new() }));
         sim.run_until(SimTime::from_secs_f64(1.0));
-        let drops = analysis::drops_by_link(sim.trace_records());
+        let drops = analysis::drops_by_link(&sim.trace_records());
         assert_eq!(drops[&LinkId::from_raw(0)], 7, "10 sent, 1 in flight + 2 queued survive");
         let dropped_then_delivered = sim
             .trace_records()

@@ -186,7 +186,8 @@ mod tests {
         b.add_duplex(src, dst, LinkConfig::mbps_ms(10.0, 5, 100));
         let mut sim = b.build();
         let flow = FlowId::from_raw(0);
-        let tx = sim.add_agent(src, flow, Box::new(CbrSource::new(dst, rate_bps, 1000, SimTime::ZERO)));
+        let tx =
+            sim.add_agent(src, flow, Box::new(CbrSource::new(dst, rate_bps, 1000, SimTime::ZERO)));
         let rx = sim.add_agent(dst, flow, Box::new(CbrSink::new()));
         sim.run_until(SimTime::from_secs_f64(secs));
         let sent = sim.agent(tx).as_any().downcast_ref::<CbrSource>().unwrap().sent();

@@ -8,6 +8,7 @@
 use netsim::time::{SimDuration, SimTime};
 
 use crate::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+use crate::telemetry::{CommonStats, SenderTelemetry};
 
 /// A sender with a constant window and a crude go-back-N timeout.
 #[derive(Debug)]
@@ -36,6 +37,18 @@ impl FixedWindowSender {
             self.snd_nxt += 1;
         }
         out.set_timer(now + self.timeout);
+    }
+}
+
+impl SenderTelemetry for FixedWindowSender {
+    fn common_stats(&self) -> CommonStats {
+        CommonStats {
+            algorithm: self.name().to_owned(),
+            acked_segments: self.snd_una,
+            cwnd: self.cwnd(),
+            ssthresh: self.ssthresh(),
+            ..CommonStats::default()
+        }
     }
 }
 

@@ -391,14 +391,8 @@ mod tests {
     #[test]
     fn ack_per_segment_by_default() {
         let (mut sim, src, dst) = two_node();
-        let h = attach_flow(
-            &mut sim,
-            FlowId::from_raw(0),
-            src,
-            dst,
-            fixed(8),
-            FlowOptions::default(),
-        );
+        let h =
+            attach_flow(&mut sim, FlowId::from_raw(0), src, dst, fixed(8), FlowOptions::default());
         sim.run_until(SimTime::from_secs_f64(2.0));
         let rx = receiver_host(&sim, h.receiver);
         assert_eq!(rx.acks_sent(), rx.delivered_segments(), "one ACK per segment");
@@ -446,10 +440,7 @@ mod tests {
     #[test]
     fn sender_start_offset_is_honored() {
         let (mut sim, src, dst) = two_node();
-        let opts = FlowOptions {
-            start_at: SimTime::from_secs_f64(1.0),
-            ..FlowOptions::default()
-        };
+        let opts = FlowOptions { start_at: SimTime::from_secs_f64(1.0), ..FlowOptions::default() };
         let h = attach_flow(&mut sim, FlowId::from_raw(0), src, dst, fixed(4), opts);
         sim.run_until(SimTime::from_secs_f64(0.9));
         assert_eq!(sender_host::<FixedWindowSender>(&sim, h.sender).stats().segments_sent, 0);

@@ -42,8 +42,12 @@ pub mod host;
 pub mod receiver;
 pub mod rto;
 pub mod sender;
+pub mod telemetry;
 
-pub use host::{attach_flow, receiver_host, sender_host, FlowHandle, FlowOptions, SenderHost, SenderStats};
+pub use host::{
+    attach_flow, receiver_host, sender_host, FlowHandle, FlowOptions, SenderHost, SenderStats,
+};
 pub use receiver::{AckDescriptor, ReceiverConfig, ReceiverStats, TcpReceiver};
 pub use rto::RtoEstimator;
 pub use sender::{AckEvent, SenderOutput, TcpSenderAlgo, TimerOp, Transmission};
+pub use telemetry::{CommonStats, SenderTelemetry};

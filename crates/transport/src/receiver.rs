@@ -106,7 +106,13 @@ pub struct TcpReceiver {
 impl TcpReceiver {
     /// Creates a receiver expecting segment 0 first.
     pub fn new(cfg: ReceiverConfig) -> Self {
-        TcpReceiver { cfg, rcv_nxt: 0, ooo: BTreeSet::new(), stats: ReceiverStats::default(), max_seen: None }
+        TcpReceiver {
+            cfg,
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            stats: ReceiverStats::default(),
+            max_seen: None,
+        }
     }
 
     /// Next expected segment: everything below has been delivered in order.
@@ -184,7 +190,7 @@ impl TcpReceiver {
         ranges.push(cur);
 
         // Most recent (triggering) block first, rest highest-first.
-        ranges.sort_by(|a, b| b.0.cmp(&a.0));
+        ranges.sort_by_key(|r| std::cmp::Reverse(r.0));
         if let Some(pos) = ranges.iter().position(|r| r.0 <= trigger && trigger < r.1) {
             let hit = ranges.remove(pos);
             ranges.insert(0, hit);
@@ -270,7 +276,8 @@ mod tests {
 
     #[test]
     fn sack_blocks_capped() {
-        let mut r = TcpReceiver::new(ReceiverConfig { sack: true, dsack: true, max_sack_blocks: 2 });
+        let mut r =
+            TcpReceiver::new(ReceiverConfig { sack: true, dsack: true, max_sack_blocks: 2 });
         r.on_data(0);
         for seq in [2u64, 4, 6, 8] {
             r.on_data(seq);
@@ -317,7 +324,8 @@ mod tests {
 
     #[test]
     fn sack_disabled_yields_plain_dupacks() {
-        let mut r = TcpReceiver::new(ReceiverConfig { sack: false, dsack: false, max_sack_blocks: 3 });
+        let mut r =
+            TcpReceiver::new(ReceiverConfig { sack: false, dsack: false, max_sack_blocks: 3 });
         r.on_data(0);
         let a = r.on_data(2);
         assert!(a.dup);

@@ -38,13 +38,21 @@ impl RtoEstimator {
     /// Estimator with the RFC 2988 recommended parameters: 1 s minimum RTO,
     /// 60 s maximum, 100 ms clock granularity, 3 s initial RTO.
     pub fn rfc2988() -> Self {
-        Self::new(SimDuration::from_secs(1), SimDuration::from_secs(60), SimDuration::from_millis(100))
+        Self::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(100),
+        )
     }
 
     /// Estimator with ns-2-like parameters (200 ms minimum RTO), useful when
     /// matching simulations that use finer-grained timers.
     pub fn ns2_like() -> Self {
-        Self::new(SimDuration::from_millis(200), SimDuration::from_secs(60), SimDuration::from_millis(10))
+        Self::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(10),
+        )
     }
 
     /// Creates an estimator with explicit clamps and granularity.
@@ -76,13 +84,11 @@ impl RtoEstimator {
             Some(srtt) => {
                 let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4);
                 // SRTT = 7/8 SRTT + 1/8 R'
-                self.srtt = Some(SimDuration::from_nanos(
-                    (srtt.as_nanos() / 8) * 7 + rtt.as_nanos() / 8,
-                ));
+                self.srtt =
+                    Some(SimDuration::from_nanos((srtt.as_nanos() / 8) * 7 + rtt.as_nanos() / 8));
             }
         }
         let srtt = self.srtt.expect("just set");

@@ -101,7 +101,12 @@ impl SenderOutput {
 /// Implementations assume an infinitely backlogged application (the paper's
 /// long-lived FTP flows): any segment number may be sent once the window
 /// allows. Hosts deliver events in simulation-time order.
-pub trait TcpSenderAlgo: std::fmt::Debug {
+///
+/// The [`SenderTelemetry`](crate::telemetry::SenderTelemetry) supertrait
+/// obliges every variant to render its counters into a shared
+/// [`CommonStats`](crate::telemetry::CommonStats) snapshot, so experiments
+/// can report any mix of variants through one interface.
+pub trait TcpSenderAlgo: std::fmt::Debug + crate::telemetry::SenderTelemetry {
     /// Called once when the flow starts; typically transmits the initial
     /// window and arms a timer.
     fn on_start(&mut self, now: SimTime, out: &mut SenderOutput);

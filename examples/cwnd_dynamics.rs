@@ -1,13 +1,16 @@
 //! Visualize TCP-PR's congestion-window dynamics as an ASCII time series:
-//! slow start, the AIMD sawtooth, and an extreme-loss episode.
+//! slow start, the AIMD sawtooth, and the bottleneck queue it fills —
+//! sampled on a fixed sim-time grid by the telemetry [`Sampler`].
 //!
 //! ```text
 //! cargo run --example cwnd_dynamics --release
 //! ```
 
+use netsim::telemetry::Sampler;
 use netsim::{FlowId, LinkConfig, SimBuilder, SimDuration, SimTime};
 use tcp_pr::{TcpPrConfig, TcpPrSender};
 use transport::host::{attach_flow, sender_host, FlowOptions};
+use transport::telemetry::{cwnd_probe, srtt_probe};
 
 fn main() {
     let mut b = SimBuilder::new(21);
@@ -16,47 +19,46 @@ fn main() {
     let r2 = b.add_node();
     let dst = b.add_node();
     b.add_duplex(src, r1, LinkConfig::mbps_ms(100.0, 5, 300));
-    b.add_duplex(r1, r2, LinkConfig::mbps_ms(10.0, 20, 100));
+    let (bottleneck, _) = b.add_duplex(r1, r2, LinkConfig::mbps_ms(10.0, 20, 100));
     b.add_duplex(r2, dst, LinkConfig::mbps_ms(100.0, 5, 300));
     let mut sim = b.build();
 
-    let opts = FlowOptions { trace_cwnd: true, ..FlowOptions::default() };
     let h = attach_flow(
         &mut sim,
         FlowId::from_raw(0),
         src,
         dst,
         TcpPrSender::new(TcpPrConfig::default()),
-        opts,
+        FlowOptions::default(),
     );
-    sim.run_until(SimTime::from_secs_f64(60.0));
 
-    let host = sender_host::<TcpPrSender>(&sim, h.sender);
-    let trace = host.cwnd_trace();
+    // One probe per series, all on the same 0.5 s grid.
+    let mut sampler = Sampler::new(SimDuration::from_millis(500));
+    sampler.add_probe("cwnd", cwnd_probe::<TcpPrSender>(h.sender));
+    sampler.add_probe("srtt_s", srtt_probe::<TcpPrSender>(h.sender));
+    sampler.add_link_queue_depth(bottleneck);
+    sampler.advance(&mut sim, SimTime::from_secs_f64(60.0));
+
+    let [cwnd, srtt, queue] = sampler.series() else { unreachable!("three probes registered") };
     println!("TCP-PR cwnd over 60 s on a 10 Mbps / ~60 ms-RTT bottleneck\n");
 
-    // Bucket the trace into 0.5 s bins and draw a bar per bin.
-    let bin = SimDuration::from_millis(500);
-    let mut t = SimTime::ZERO;
-    let mut idx = 0usize;
-    let max_cwnd = trace.iter().map(|&(_, w)| w).fold(1.0f64, f64::max);
-    while t < SimTime::from_secs_f64(60.0) && idx < trace.len() {
-        let end = t + bin;
-        let mut last = None;
-        while idx < trace.len() && trace[idx].0 < end {
-            last = Some(trace[idx].1);
-            idx += 1;
+    let max_cwnd = cwnd.max().unwrap_or(1.0).max(1.0);
+    for (i, &(t, w)) in cwnd.points.iter().enumerate() {
+        // Print every other sample: one bar per simulated second.
+        if i % 2 != 0 {
+            continue;
         }
-        if let Some(w) = last {
-            let width = ((w / max_cwnd) * 60.0).round() as usize;
-            println!("{:5.1}s {:6.1} |{}", t.as_secs_f64(), w, "#".repeat(width));
-        }
-        t = end;
+        let width = ((w / max_cwnd) * 60.0).round() as usize;
+        println!("{:5.1}s {:6.1} |{}", t.as_secs_f64(), w, "#".repeat(width));
     }
 
-    let stats = host.algo().stats();
+    let peak_queue = queue.max().unwrap_or(0.0);
+    let srtt_ms = srtt.points.last().map_or(0.0, |&(_, s)| s * 1000.0);
+    println!("\npeak bottleneck queue: {peak_queue:.0} packets   final srtt: {srtt_ms:.1} ms");
+
+    let stats = sender_host::<TcpPrSender>(&sim, h.sender).algo().stats();
     println!(
-        "\nhalvings: {}  extreme-loss episodes: {}  drops detected: {}",
+        "halvings: {}  extreme-loss episodes: {}  drops detected: {}",
         stats.window_halvings, stats.extreme_loss_events, stats.drops_detected
     );
 }

@@ -38,10 +38,7 @@ fn run(variant: Variant, high_prob: f64) -> (f64, u64) {
     sim.run_until(SimTime::from_secs_f64(20.0));
     let rx = receiver_host(&sim, h.receiver);
     let _ = sender_host::<Box<dyn TcpSenderAlgo>>(&sim, h.sender);
-    (
-        rx.received_unique_bytes() as f64 * 8.0 / 20.0 / 1e6,
-        rx.receiver_stats().late_arrivals,
-    )
+    (rx.received_unique_bytes() as f64 * 8.0 / 20.0 / 1e6, rx.receiver_stats().late_arrivals)
 }
 
 fn main() {
@@ -50,10 +47,7 @@ fn main() {
     for high_prob in [0.0, 0.2, 0.5] {
         for variant in [Variant::TcpPr, Variant::NewReno, Variant::Sack] {
             let (mbps, late) = run(variant, high_prob);
-            println!(
-                "{high_prob:9.1} | {:12} | {mbps:5.2} | {late}",
-                variant.label()
-            );
+            println!("{high_prob:9.1} | {:12} | {mbps:5.2} | {late}", variant.label());
         }
         println!();
     }

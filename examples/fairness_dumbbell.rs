@@ -13,7 +13,8 @@ use experiments::topologies::DumbbellConfig;
 fn main() {
     for n_flows in [4usize, 8, 16] {
         let params = FairnessParams { plan: MeasurePlan::quick(), seed: 3, ..Default::default() };
-        let r = run_fairness(FairnessTopology::Dumbbell(DumbbellConfig::default()), n_flows, &params);
+        let r =
+            run_fairness(FairnessTopology::Dumbbell(DumbbellConfig::default()), n_flows, &params);
         println!("{n_flows:2} flows ({} TCP-PR + {} TCP-SACK):", n_flows / 2, n_flows / 2);
         println!("  per-flow normalized throughput, TCP-PR  : {:?}", round_all(&r.pr_normalized));
         println!("  per-flow normalized throughput, TCP-SACK: {:?}", round_all(&r.sack_normalized));

@@ -1,5 +1,6 @@
 //! Per-packet tracing: follow a TCP-PR flow through the Figure 5 multipath
-//! mesh and break its one-way delays down by path.
+//! mesh, break its one-way delays down by path, and stream the full trace
+//! to a JSONL file while keeping only the most recent records in memory.
 //!
 //! ```text
 //! cargo run --example packet_trace --release
@@ -8,7 +9,7 @@
 use std::collections::HashMap;
 
 use experiments::topologies::{multipath_mesh, MeshConfig};
-use netsim::trace::analysis;
+use netsim::trace::{analysis, JsonlTraceSink, TraceConfig};
 use netsim::{FlowId, LinkId, SimTime};
 use tcp_pr::{TcpPrConfig, TcpPrSender};
 use transport::host::{attach_flow, receiver_host, FlowOptions};
@@ -18,7 +19,14 @@ fn main() {
     let mut sim = mesh.sim;
     sim.install_multipath(mesh.src, mesh.dst, 0.0, mesh.max_path_hops);
     sim.install_multipath(mesh.dst, mesh.src, 0.0, mesh.max_path_hops);
-    sim.enable_trace(&[FlowId::from_raw(0)], 2_000_000);
+    // Ring-buffer the in-memory trace (keep the latest 2M records) and
+    // stream every record to disk as JSONL at the same time.
+    sim.enable_trace_with(TraceConfig::new(&[FlowId::from_raw(0)], 2_000_000).keep_latest());
+    let trace_path = std::env::temp_dir().join("tcp_pr_packet_trace.jsonl");
+    match JsonlTraceSink::create(&trace_path) {
+        Ok(sink) => sim.set_trace_sink(Box::new(sink)),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
+    }
 
     let h = attach_flow(
         &mut sim,
@@ -29,10 +37,11 @@ fn main() {
         FlowOptions::default(),
     );
     sim.run_until(SimTime::from_secs_f64(5.0));
+    sim.flush_trace();
 
     let records = sim.trace_records();
-    let delays: HashMap<u64, _> = analysis::one_way_delays(records).into_iter().collect();
-    let paths = analysis::paths(records);
+    let delays: HashMap<u64, _> = analysis::one_way_delays(&records).into_iter().collect();
+    let paths = analysis::paths(&records);
     let data_uids: std::collections::HashSet<u64> =
         records.iter().filter(|r| !r.is_ack).map(|r| r.uid).collect();
 
@@ -67,13 +76,15 @@ fn main() {
         );
     }
 
-    println!(
-        "\ntrace-level reorder events: {}",
-        analysis::delivery_reorder_count(records)
-    );
+    println!("\ntrace-level reorder events: {}", analysis::delivery_reorder_count(&records));
     println!(
         "receiver-level late arrivals: {}",
         receiver_host(&sim, h.receiver).receiver_stats().late_arrivals
     );
-    println!("records captured: {}", records.len());
+    println!(
+        "records buffered: {} (lost outright: {})",
+        records.len(),
+        sim.dropped_trace_records()
+    );
+    println!("full JSONL trace: {}", trace_path.display());
 }

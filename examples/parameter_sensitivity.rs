@@ -24,15 +24,8 @@ fn main() {
                 seed: 5,
                 pr_config: TcpPrConfig::with_alpha_beta(alpha, beta),
             };
-            let r = run_fairness(
-                FairnessTopology::Dumbbell(DumbbellConfig::default()),
-                8,
-                &params,
-            );
-            println!(
-                "{alpha:6.3} | {beta:4.1} | {:12.3} | {:10.3}",
-                r.mean_sack, r.mean_pr
-            );
+            let r = run_fairness(FairnessTopology::Dumbbell(DumbbellConfig::default()), 8, &params);
+            println!("{alpha:6.3} | {beta:4.1} | {:12.3} | {:10.3}", r.mean_sack, r.mean_pr);
         }
     }
     println!("\nAs in the paper's Figure 4: β = 1 favors TCP-SACK; for β in 2..5 the");

@@ -24,8 +24,7 @@ fn main() {
 
     // One TCP-PR flow with the paper's parameters (α = 0.995, β = 3).
     let algo = TcpPrSender::new(TcpPrConfig::default());
-    let handle =
-        attach_flow(&mut sim, FlowId::from_raw(0), src, dst, algo, FlowOptions::default());
+    let handle = attach_flow(&mut sim, FlowId::from_raw(0), src, dst, algo, FlowOptions::default());
 
     println!("time    delivered   cwnd    mode                  mxrtt");
     for sec in [1u64, 2, 5, 10, 20, 30] {

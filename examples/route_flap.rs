@@ -13,8 +13,7 @@ use netsim::time::SimDuration;
 
 fn main() {
     let plan = MeasurePlan::quick();
-    let variants =
-        [Variant::TcpPr, Variant::NewReno, Variant::Sack, Variant::Eifel, Variant::Door];
+    let variants = [Variant::TcpPr, Variant::NewReno, Variant::Sack, Variant::Eifel, Variant::Door];
 
     for period_ms in [2000u64, 500, 200] {
         let cfg = RouteFlapConfig {

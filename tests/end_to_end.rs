@@ -76,8 +76,8 @@ fn jitter_reordering_hurts_dupack_senders_not_tcp_pr() {
         let dst = b.add_node();
         // 40% of packets get up to 60 ms of extra delay: heavy reordering,
         // zero loss.
-        let fwd = LinkConfig::mbps_ms(10.0, 10, 2000)
-            .with_jitter(0.4, SimDuration::from_millis(60));
+        let fwd =
+            LinkConfig::mbps_ms(10.0, 10, 2000).with_jitter(0.4, SimDuration::from_millis(60));
         b.add_link(src, dst, fwd);
         b.add_link(dst, src, LinkConfig::mbps_ms(10.0, 10, 2000));
         let mut sim = b.build();
@@ -94,10 +94,7 @@ fn jitter_reordering_hurts_dupack_senders_not_tcp_pr() {
     };
     let pr = run(Variant::TcpPr);
     let newreno = run(Variant::NewReno);
-    assert!(
-        pr > 2 * newreno,
-        "TCP-PR ({pr} B) must beat NewReno ({newreno} B) under heavy jitter"
-    );
+    assert!(pr > 2 * newreno, "TCP-PR ({pr} B) must beat NewReno ({newreno} B) under heavy jitter");
     // And TCP-PR should retain a large fraction of the line rate
     // (10 Mbps × 20 s = 25 MB ceiling).
     assert!(pr > 10_000_000, "TCP-PR got only {pr} B under jitter");
@@ -183,11 +180,7 @@ fn delayed_acks_do_not_break_any_variant() {
         };
         let h = attach_flow(&mut d.sim, FlowId::from_raw(0), d.src, d.dst, variant.build(), opts);
         let bytes = measure_window(&mut d.sim, &[h], quick_plan());
-        assert!(
-            bytes[0] > 12_000_000,
-            "{variant} with delayed ACKs moved only {} bytes",
-            bytes[0]
-        );
+        assert!(bytes[0] > 12_000_000, "{variant} with delayed ACKs moved only {} bytes", bytes[0]);
     }
 }
 
@@ -214,11 +207,7 @@ fn mixed_variants_coexist() {
     let total: u64 = bytes.iter().sum();
     for (i, b) in bytes.iter().enumerate() {
         let share = *b as f64 / total as f64;
-        assert!(
-            share > 0.05,
-            "{} starved: {share:.3} of the bottleneck",
-            variants[i].label()
-        );
+        assert!(share > 0.05, "{} starved: {share:.3} of the bottleneck", variants[i].label());
     }
     // The bottleneck should be essentially full.
     assert!(total > 25_000_000, "link underutilized: {total} bytes");

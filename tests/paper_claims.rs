@@ -42,10 +42,7 @@ fn claim_all_equal_without_reordering() {
         .collect();
     let min = throughputs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = throughputs.iter().copied().fold(0.0, f64::max);
-    assert!(
-        min > 0.75 * max,
-        "at eps=500 all variants should be within 25%: {throughputs:?}"
-    );
+    assert!(min > 0.75 * max, "at eps=500 all variants should be within 25%: {throughputs:?}");
     assert!(min > 7.0, "all should nearly fill the 10 Mbps path: {throughputs:?}");
 }
 
@@ -64,8 +61,7 @@ fn claim_fairness_with_sack_dumbbell() {
 #[test]
 fn claim_fairness_with_sack_parking_lot() {
     let params = FairnessParams { plan: plan(), seed: 2, ..Default::default() };
-    let r =
-        run_fairness(FairnessTopology::ParkingLot(ParkingLotConfig::default()), 8, &params);
+    let r = run_fairness(FairnessTopology::ParkingLot(ParkingLotConfig::default()), 8, &params);
     assert!(r.mean_pr > 0.45 && r.mean_pr < 1.55, "mean_pr = {}", r.mean_pr);
     assert!(r.mean_sack > 0.45 && r.mean_sack < 1.55, "mean_sack = {}", r.mean_sack);
 }

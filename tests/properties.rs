@@ -180,7 +180,7 @@ proptest! {
         // Track a very loose upper bound on what could have been sent.
         let mut sent_bound = out.transmissions().len() as u64;
         for (kind, arg, dt_ms) in events {
-            now = now + SimDuration::from_millis(dt_ms);
+            now += SimDuration::from_millis(dt_ms);
             out.clear();
             match kind {
                 0 => {
