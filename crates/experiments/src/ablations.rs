@@ -31,6 +31,13 @@ impl Ablation {
     pub const ALL: [Ablation; 4] =
         [Ablation::None, Ablation::NoMemorize, Ablation::NoExtremeLoss, Ablation::HalveFromCurrent];
 
+    /// The inverse of serialization: resolves an ablation from the name the
+    /// serde derive emits (`"None"`, `"NoMemorize"`, …). Used by the sweep
+    /// cache when decoding stored outcomes.
+    pub fn from_name(name: &str) -> Option<Ablation> {
+        Ablation::ALL.into_iter().find(|a| format!("{a:?}") == name)
+    }
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {

@@ -2,38 +2,73 @@
 //!
 //! ```text
 //! cargo run -p experiments --bin repro --release -- \
-//!     [fig2|fig3|fig4|fig6|all] [--quick] [--telemetry-dir <dir>]
+//!     [fig2|fig3|fig4|fig6|ablations|ext|bench-sweep|all] \
+//!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>]
 //! ```
 //!
+//! Every requested figure is expanded into a grid of scenario specs and the
+//! whole batch runs through the deterministic sweep engine
+//! ([`experiments::sweep`]): `--jobs N` executes scenarios on N worker
+//! threads (results are bit-identical at any N), completed scenarios are
+//! recorded in `.sweep-cache/`, `--resume` skips scenarios already cached,
+//! and `--no-cache` disables the cache entirely.
+//!
 //! Prints the paper-style tables to stdout and writes machine-readable JSON
-//! into `results/`. Every artifact embeds a `run_health` block (events
-//! processed, events/sec wall-clock, peak event-heap size, dropped trace
-//! records, wall time) for the simulations behind it. With
-//! `--telemetry-dir <dir>`, the fig2 run additionally streams a complete
-//! JSONL packet trace of its first TCP-PR flow into `<dir>`.
+//! into `results/`. Every artifact embeds a `run_health` block with the
+//! deterministic accounting of the simulations behind it (events processed,
+//! peak event-heap size, dropped trace records); wall-clock performance is
+//! reported on stderr. With `--telemetry-dir <dir>`, the fig2 run
+//! additionally streams a complete JSONL packet trace of its first TCP-PR
+//! flow into `<dir>`. The `bench-sweep` selector times a serial vs parallel
+//! quick sweep and writes `results/bench_sweep.json`.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use experiments::figures::{fig2, fig3, fig4, fig6};
-use experiments::runner::MeasurePlan;
-use experiments::telemetry::{artifact_json, warn_if_dropped, FigureTimer};
-use experiments::variants::Variant;
-use netsim::trace::{JsonlTraceSink, TraceSink};
+use experiments::sweep::grids::{all_figures, selectors, FigureGrid};
+use experiments::sweep::{
+    run_sweep, CachePolicy, ExecCtx, RunOutcome, SweepOptions, DEFAULT_CACHE_DIR,
+};
+use experiments::telemetry::{artifact_json, warn_if_dropped};
+use netsim::telemetry::SessionStats;
+use serde::Value;
 
 struct Cli {
     quick: bool,
     which: Vec<String>,
     telemetry_dir: Option<PathBuf>,
+    jobs: usize,
+    resume: bool,
+    no_cache: bool,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 fn parse_args() -> Cli {
-    let mut cli = Cli { quick: false, which: Vec::new(), telemetry_dir: None };
+    let mut cli = Cli {
+        quick: false,
+        which: Vec::new(),
+        telemetry_dir: None,
+        jobs: default_jobs(),
+        resume: false,
+        no_cache: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cli.quick = true,
+            "--resume" => cli.resume = true,
+            "--no-cache" => cli.no_cache = true,
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cli.jobs = n,
+                _ => {
+                    eprintln!("error: --jobs needs a worker count >= 1");
+                    exit(2);
+                }
+            },
             "--telemetry-dir" => match args.next() {
                 Some(dir) => cli.telemetry_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -48,23 +83,151 @@ fn parse_args() -> Cli {
             other => cli.which.push(other.to_owned()),
         }
     }
+    if cli.resume && cli.no_cache {
+        eprintln!("error: --resume and --no-cache contradict each other");
+        exit(2);
+    }
+    for w in &cli.which {
+        if w != "all" && w != "bench-sweep" && !selectors().contains(&w.as_str()) {
+            eprintln!(
+                "error: unknown selector {w} (expected one of: {}, bench-sweep, all)",
+                selectors().join(", ")
+            );
+            exit(2);
+        }
+    }
     cli
 }
 
-/// Writes the artifact (results + run-health) and reports the figure's
-/// wall time; warns on stderr if trace records were lost.
-fn finish_figure<T: serde::Serialize>(name: &str, timer: FigureTimer, results: &T) {
-    let health = timer.finish();
-    let path = format!("results/{name}.json");
-    fs::write(&path, artifact_json(results, &health)).expect("write artifact");
-    warn_if_dropped(name, &health);
+/// `fs::create_dir_all` with an error message naming the offending path.
+fn create_dir_or_exit(dir: &Path, what: &str) {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {what} directory {}: {e}", dir.display());
+        exit(1);
+    }
+}
+
+/// Writes one artifact, exiting with the offending path on failure.
+fn write_artifact_or_exit(path: &Path, contents: &str) {
+    if let Err(e) = fs::write(path, contents) {
+        eprintln!("error: cannot write artifact {}: {e}", path.display());
+        exit(1);
+    }
+}
+
+fn sweep_options(cli: &Cli) -> SweepOptions {
+    SweepOptions {
+        jobs: cli.jobs,
+        cache: if cli.no_cache {
+            CachePolicy::Off
+        } else if cli.resume {
+            CachePolicy::ReadWrite
+        } else {
+            CachePolicy::WriteOnly
+        },
+        cache_dir: DEFAULT_CACHE_DIR.into(),
+        progress: true,
+    }
+}
+
+/// Runs the requested figures as one sweep and renders each figure from
+/// its slice of the outcomes. Returns false if any scenario crashed.
+fn run_figures(figures: Vec<FigureGrid>, ctx: &ExecCtx, opts: &SweepOptions) -> bool {
+    let specs: Vec<_> = figures.iter().flat_map(|g| g.specs.iter().cloned()).collect();
     eprintln!(
-        "[{name} done in {:.1}s — {} events over {} sim(s), {:.0} events/s, peak heap {}]",
-        health.wall_time_s,
-        health.events_processed,
-        health.sims,
-        health.events_per_sec,
-        health.peak_event_heap
+        "[sweep] {} scenario(s) across {} artifact(s), {} worker(s)",
+        specs.len(),
+        figures.len(),
+        opts.jobs
+    );
+    let report = run_sweep(&specs, ctx, opts);
+    eprintln!("[sweep] done: {}", report.summary());
+
+    let mut ok = true;
+    let mut offset = 0;
+    for grid in &figures {
+        let runs = &report.runs[offset..offset + grid.specs.len()];
+        offset += grid.specs.len();
+
+        let crashed: Vec<_> =
+            runs.iter().filter(|r| matches!(r.outcome, RunOutcome::Crashed { .. })).collect();
+        if !crashed.is_empty() {
+            eprintln!(
+                "error: [{}] {} scenario(s) crashed — artifact not written",
+                grid.artifact,
+                crashed.len()
+            );
+            ok = false;
+            continue;
+        }
+
+        let outcomes: Vec<Value> = runs
+            .iter()
+            .map(|r| r.outcome.value().expect("non-crashed runs carry a value").clone())
+            .collect();
+        let (table, results) = (grid.assemble)(&grid.specs, &outcomes);
+        println!("{table}");
+
+        let mut work = SessionStats::default();
+        for r in runs {
+            work.merge(&r.work);
+        }
+        let path = PathBuf::from(format!("results/{}.json", grid.artifact));
+        write_artifact_or_exit(&path, &artifact_json(&results, &work));
+        warn_if_dropped(grid.artifact, work.dropped_trace_records);
+        eprintln!(
+            "[{} done — {} events over {} sim(s), peak heap {}]",
+            grid.artifact, work.events_processed, work.sims, work.peak_event_heap
+        );
+    }
+    ok
+}
+
+/// Times the same quick sweep serially and in parallel and records both in
+/// `results/bench_sweep.json`. Runs with the cache off so both passes
+/// measure real execution.
+fn run_bench_sweep(cli: &Cli, ctx: &ExecCtx) {
+    // A modest, fixed workload: the quick ablation and fig6 (10 ms) grids.
+    let grids: Vec<FigureGrid> = all_figures(true, false)
+        .into_iter()
+        .filter(|g| g.artifact == "ablations" || g.artifact == "fig6_10ms")
+        .collect();
+    let specs: Vec<_> = grids.iter().flat_map(|g| g.specs.iter().cloned()).collect();
+    let parallel_jobs = cli.jobs.max(2);
+    eprintln!(
+        "[bench-sweep] {} scenario(s): serial (1 worker) vs parallel ({parallel_jobs} workers)",
+        specs.len()
+    );
+
+    let base = SweepOptions {
+        jobs: 1,
+        cache: CachePolicy::Off,
+        cache_dir: DEFAULT_CACHE_DIR.into(),
+        progress: false,
+    };
+    let serial = run_sweep(&specs, ctx, &base);
+    let parallel = run_sweep(&specs, ctx, &SweepOptions { jobs: parallel_jobs, ..base });
+    assert_eq!(serial.crashed + parallel.crashed, 0, "bench scenarios must not crash");
+
+    let speedup = if parallel.wall_s > 0.0 { serial.wall_s / parallel.wall_s } else { 0.0 };
+    let bench = Value::Object(vec![
+        ("scenarios".to_owned(), Value::UInt(specs.len() as u64)),
+        ("events".to_owned(), Value::UInt(serial.events_executed)),
+        ("serial_jobs".to_owned(), Value::UInt(1)),
+        ("serial_wall_s".to_owned(), Value::Float(serial.wall_s)),
+        ("serial_events_per_sec".to_owned(), Value::Float(serial.events_per_sec())),
+        ("parallel_jobs".to_owned(), Value::UInt(parallel_jobs as u64)),
+        ("parallel_wall_s".to_owned(), Value::Float(parallel.wall_s)),
+        ("parallel_events_per_sec".to_owned(), Value::Float(parallel.events_per_sec())),
+        ("speedup".to_owned(), Value::Float(speedup)),
+    ]);
+    let path = Path::new("results/bench_sweep.json");
+    write_artifact_or_exit(path, &serde_json::to_string_pretty(&bench).expect("total"));
+    eprintln!(
+        "[bench-sweep] serial {:.1}s vs parallel {:.1}s — speedup {speedup:.2}x → {}",
+        serial.wall_s,
+        parallel.wall_s,
+        path.display()
     );
 }
 
@@ -72,109 +235,34 @@ fn main() {
     let cli = parse_args();
     let all = cli.which.is_empty() || cli.which.iter().any(|w| w == "all");
     let wants = |name: &str| all || cli.which.iter().any(|w| w == name);
-    let plan = if cli.quick { MeasurePlan::quick() } else { MeasurePlan::default() };
-    fs::create_dir_all("results").expect("create results dir");
+
+    create_dir_or_exit(Path::new("results"), "results");
     if let Some(dir) = &cli.telemetry_dir {
-        fs::create_dir_all(dir).expect("create telemetry dir");
+        create_dir_or_exit(dir, "telemetry");
     }
+    let ctx = ExecCtx { telemetry_dir: cli.telemetry_dir.clone() };
 
-    if wants("fig2") {
-        let timer = FigureTimer::start();
-        let counts: &[usize] = if cli.quick { &[2, 8, 16] } else { &fig2::FLOW_COUNTS };
-        let trace_sink: Option<Box<dyn TraceSink>> = cli.telemetry_dir.as_ref().map(|dir| {
-            let path = dir.join("fig2_flow0.jsonl");
-            let sink = JsonlTraceSink::create(&path).expect("create fig2 trace file");
-            eprintln!("[fig2 trace → {}]", path.display());
-            Box::new(sink) as Box<dyn TraceSink>
-        });
-        let series = fig2::run_figure2_with(plan, 1, counts, trace_sink);
-        println!("{}", fig2::format_table(&series));
-        finish_figure("fig2", timer, &series);
+    // `ext` (route flaps, MANET churn) is opt-in, as before; everything
+    // else participates in `all`.
+    let figures: Vec<FigureGrid> = all_figures(cli.quick, cli.telemetry_dir.is_some())
+        .into_iter()
+        .filter(|g| {
+            if g.in_all {
+                wants(g.selector)
+            } else {
+                cli.which.iter().any(|w| w == g.selector)
+            }
+        })
+        .collect();
+
+    let mut ok = true;
+    if !figures.is_empty() {
+        ok = run_figures(figures, &ctx, &sweep_options(&cli));
     }
-
-    if wants("fig3") {
-        let timer = FigureTimer::start();
-        // Smaller bottlenecks ⇒ higher loss (the paper's 4–13% band).
-        let bandwidths: &[f64] =
-            if cli.quick { &[20.0, 8.0] } else { &[25.0, 18.0, 12.0, 8.0, 5.0] };
-        let seeds: &[u64] = if cli.quick { &[1, 2] } else { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] };
-        let n_flows = if cli.quick { 16 } else { 64 };
-        let mut points = fig3::run_figure3(true, bandwidths, seeds, n_flows, plan);
-        let backbone: Vec<f64> = bandwidths.iter().map(|b| b * 0.6).collect();
-        points.extend(fig3::run_figure3(false, &backbone, seeds, n_flows, plan));
-        println!("{}", fig3::format_table(&points));
-        finish_figure("fig3", timer, &points);
+    if cli.which.iter().any(|w| w == "bench-sweep") {
+        run_bench_sweep(&cli, &ctx);
     }
-
-    if wants("fig4") {
-        let t0 = std::time::Instant::now();
-        let alphas: &[f64] = if cli.quick { &[0.25, 0.995] } else { &fig4::ALPHAS };
-        let betas: &[f64] = if cli.quick { &[1.0, 3.0] } else { &fig4::BETAS };
-        let n_flows = if cli.quick { 8 } else { 64 };
-        for dumbbell in [true, false] {
-            let timer = FigureTimer::start();
-            let cells = fig4::run_figure4(dumbbell, alphas, betas, n_flows, plan, 1);
-            println!(
-                "[{} topology]\n{}",
-                if dumbbell { "dumbbell" } else { "parking-lot" },
-                fig4::format_table(&cells)
-            );
-            let name = if dumbbell { "fig4_dumbbell" } else { "fig4_parkinglot" };
-            finish_figure(name, timer, &cells);
-        }
-        eprintln!("[fig4 total {:.1}s]", t0.elapsed().as_secs_f64());
-    }
-
-    if cli.which.iter().any(|w| w == "ext") {
-        // Extensions: route flaps and MANET churn (not paper figures; not
-        // part of `all`).
-        let variants = [
-            experiments::Variant::TcpPr,
-            experiments::Variant::Sack,
-            experiments::Variant::NewReno,
-            experiments::Variant::Eifel,
-            experiments::Variant::Door,
-        ];
-        let timer = FigureTimer::start();
-        let flap = experiments::routeflap::run_comparison(
-            &variants,
-            experiments::routeflap::RouteFlapConfig::default(),
-            plan,
-            1,
-        );
-        println!("{}", experiments::routeflap::format_table(&flap));
-        finish_figure("routeflap", timer, &flap);
-        let timer = FigureTimer::start();
-        let churn: Vec<_> = variants
-            .iter()
-            .map(|&v| {
-                experiments::manet::run_churn(
-                    v,
-                    experiments::manet::ChurnConfig::default(),
-                    plan,
-                    1,
-                )
-            })
-            .collect();
-        println!("{}", experiments::manet::format_table(&churn));
-        finish_figure("manet", timer, &churn);
-    }
-
-    if wants("ablations") {
-        let timer = FigureTimer::start();
-        let results = experiments::ablations::run_all(plan, 1);
-        println!("{}", experiments::ablations::format_table(&results));
-        finish_figure("ablations", timer, &results);
-    }
-
-    if wants("fig6") {
-        let epsilons: &[f64] = if cli.quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
-        let variants: &[Variant] = &Variant::FIGURE6;
-        for delay in [10u64, 60u64] {
-            let timer = FigureTimer::start();
-            let points = fig6::run_figure6(delay, variants, epsilons, plan, 1);
-            println!("{}", fig6::format_table(&points));
-            finish_figure(&format!("fig6_{delay}ms"), timer, &points);
-        }
+    if !ok {
+        exit(1);
     }
 }

@@ -11,6 +11,8 @@
 //! - [`variants`]: a factory over every sender variant;
 //! - [`runner`]: warm-up/measure windows ("data sent during the last 60 s");
 //! - [`figures`]: one harness per figure (2, 3, 4 and 6);
+//! - [`sweep`]: the deterministic parallel sweep engine (scenario specs,
+//!   worker pool, content-addressed result cache);
 //! - [`telemetry`]: run-health blocks ([`FigureTimer`](telemetry::FigureTimer))
 //!   and the `results/*.json` artifact wrapper.
 //!
@@ -47,6 +49,7 @@ pub mod manet;
 pub mod metrics;
 pub mod routeflap;
 pub mod runner;
+pub mod sweep;
 pub mod telemetry;
 pub mod topologies;
 pub mod validation;

@@ -1,0 +1,191 @@
+//! Reads harness result structs back out of serialized [`Value`] trees.
+//!
+//! The vendored serde shim is one-directional (`Serialize` renders to a
+//! [`Value`]); the sweep cache needs the other direction, so each result
+//! type the executor can produce gets a hand-written decoder here. The
+//! decoders accept exactly the shapes the derive emits — named-field
+//! objects, unit enums as their variant-name strings — plus the integer /
+//! float variant blurring the JSON printer introduces (`1.0` prints as `1`
+//! and parses back as an unsigned integer).
+
+use serde::Value;
+
+use crate::ablations::{Ablation, AblationResult};
+use crate::figures::fairness::FairnessResult;
+use crate::figures::fig6::Fig6Point;
+use crate::manet::ChurnResult;
+use crate::routeflap::RouteFlapResult;
+use crate::variants::Variant;
+
+/// Looks up `key` in an object value.
+pub fn get<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, val)| val),
+        _ => None,
+    }
+}
+
+/// Numeric coercion: any of the shim's number variants as `f64`.
+pub fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::Float(x) => Some(x),
+        Value::Int(i) => Some(i as f64),
+        Value::UInt(u) => Some(u as f64),
+        _ => None,
+    }
+}
+
+/// Numeric coercion: non-negative integers as `u64`.
+pub fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::UInt(u) => Some(u),
+        Value::Int(i) if i >= 0 => Some(i as u64),
+        _ => None,
+    }
+}
+
+/// String access.
+pub fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// An array of numbers as `Vec<f64>`.
+pub fn as_f64_vec(v: &Value) -> Option<Vec<f64>> {
+    match v {
+        Value::Array(items) => items.iter().map(as_f64).collect(),
+        _ => None,
+    }
+}
+
+fn f64_field(v: &Value, key: &str) -> Option<f64> {
+    get(v, key).and_then(as_f64)
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    get(v, key).and_then(as_u64)
+}
+
+/// Decodes a [`FairnessResult`] (Figures 2/3/4 cell outcome).
+pub fn fairness_result(v: &Value) -> Option<FairnessResult> {
+    Some(FairnessResult {
+        topology: as_str(get(v, "topology")?)?.to_owned(),
+        n_flows: u64_field(v, "n_flows")? as usize,
+        pr_normalized: as_f64_vec(get(v, "pr_normalized")?)?,
+        sack_normalized: as_f64_vec(get(v, "sack_normalized")?)?,
+        mean_pr: f64_field(v, "mean_pr")?,
+        mean_sack: f64_field(v, "mean_sack")?,
+        cov_pr: f64_field(v, "cov_pr")?,
+        cov_sack: f64_field(v, "cov_sack")?,
+        loss_rate_pct: f64_field(v, "loss_rate_pct")?,
+    })
+}
+
+/// Decodes a [`Fig6Point`] (multipath cell outcome).
+pub fn fig6_point(v: &Value) -> Option<Fig6Point> {
+    Some(Fig6Point {
+        variant: Variant::from_name(as_str(get(v, "variant")?)?)?,
+        epsilon: f64_field(v, "epsilon")?,
+        link_delay_ms: u64_field(v, "link_delay_ms")?,
+        mbps: f64_field(v, "mbps")?,
+        retransmits: u64_field(v, "retransmits")?,
+        segments_sent: u64_field(v, "segments_sent")?,
+        late_arrivals: u64_field(v, "late_arrivals")?,
+        queue_drops: u64_field(v, "queue_drops")?,
+    })
+}
+
+/// Decodes a [`RouteFlapResult`].
+pub fn routeflap_result(v: &Value) -> Option<RouteFlapResult> {
+    Some(RouteFlapResult {
+        variant: Variant::from_name(as_str(get(v, "variant")?)?)?,
+        mbps: f64_field(v, "mbps")?,
+        late_arrivals: u64_field(v, "late_arrivals")?,
+        mean_displacement: f64_field(v, "mean_displacement")?,
+        retransmits: u64_field(v, "retransmits")?,
+    })
+}
+
+/// Decodes a [`ChurnResult`].
+pub fn churn_result(v: &Value) -> Option<ChurnResult> {
+    Some(ChurnResult {
+        variant: Variant::from_name(as_str(get(v, "variant")?)?)?,
+        mbps: f64_field(v, "mbps")?,
+        route_changes: u64_field(v, "route_changes")?,
+        late_arrivals: u64_field(v, "late_arrivals")?,
+        retransmits: u64_field(v, "retransmits")?,
+    })
+}
+
+/// Decodes an [`AblationResult`].
+pub fn ablation_result(v: &Value) -> Option<AblationResult> {
+    Some(AblationResult {
+        ablation: Ablation::from_name(as_str(get(v, "ablation")?)?)?,
+        mbps: f64_field(v, "mbps")?,
+        window_halvings: u64_field(v, "window_halvings")?,
+        extreme_loss_events: u64_field(v, "extreme_loss_events")?,
+        retransmits: u64_field(v, "retransmits")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_result_roundtrips_through_value_and_text() {
+        let r = FairnessResult {
+            topology: "dumbbell".to_owned(),
+            n_flows: 4,
+            pr_normalized: vec![0.9, 1.0],
+            sack_normalized: vec![1.1, 1.0],
+            mean_pr: 0.95,
+            mean_sack: 1.05,
+            cov_pr: 0.05,
+            cov_sack: 0.04,
+            loss_rate_pct: 0.5,
+        };
+        let v = serde::Serialize::to_value(&r);
+        let decoded = fairness_result(&v).expect("decode");
+        assert_eq!(serde::Serialize::to_value(&decoded), v);
+
+        // Through JSON text too (the cache's on-disk trip), where integral
+        // floats come back as integers.
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        let decoded = fairness_result(&reparsed).expect("decode after parse");
+        assert_eq!(decoded.pr_normalized, r.pr_normalized);
+        assert_eq!(decoded.mean_sack, r.mean_sack);
+    }
+
+    #[test]
+    fn fig6_point_roundtrips() {
+        let p = Fig6Point {
+            variant: Variant::TdFr,
+            epsilon: 4.0,
+            link_delay_ms: 60,
+            mbps: 12.5,
+            retransmits: 7,
+            segments_sent: 1000,
+            late_arrivals: 250,
+            queue_drops: 3,
+        };
+        let v = serde::Serialize::to_value(&p);
+        let decoded = fig6_point(&v).expect("decode");
+        assert_eq!(decoded.variant, Variant::TdFr);
+        assert_eq!(serde::Serialize::to_value(&decoded), v);
+    }
+
+    #[test]
+    fn decoders_reject_wrong_shapes() {
+        assert!(fairness_result(&Value::Null).is_none());
+        assert!(fig6_point(&Value::Object(vec![(
+            "variant".into(),
+            Value::Str("NotAVariant".into())
+        )]))
+        .is_none());
+        assert!(as_u64(&Value::Int(-1)).is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! Per-figure job grids and artifact assemblers.
+//!
+//! Each figure of the reproduction is described twice:
+//!
+//! - a **grid builder** expands the figure's parameter sweep into a flat
+//!   list of [`ScenarioSpec`]s (one per cell), and
+//! - an **assembler** folds the sweep outcomes (in spec order, fresh or
+//!   cached — indistinguishable) back into the figure's typed result
+//!   collection, its paper-style text table, and the `results/*.json`
+//!   payload.
+//!
+//! The `repro` binary concatenates the grids of every requested figure into
+//! one job list, runs a single sweep over all of it, then hands each
+//! figure its slice of outcomes.
+
+use serde::Value;
+
+use crate::ablations::{self, Ablation};
+use crate::figures::fig2::{self, Fig2Series};
+use crate::figures::fig3::{self, Fig3Point};
+use crate::figures::fig4::{self, Fig4Cell};
+use crate::figures::fig6;
+use crate::sweep::decode;
+use crate::sweep::spec::{PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec};
+use crate::variants::Variant;
+use crate::{manet, routeflap};
+
+/// One artifact's worth of sweep work: its job grid plus the assembler
+/// that turns outcomes into the table and the `results/<artifact>.json`
+/// payload.
+pub struct FigureGrid {
+    /// CLI selector that activates this grid (`fig2`, `fig4`, `ext`, …).
+    /// Several grids may share one selector (fig4 and fig6 each produce
+    /// two artifacts; `ext` produces routeflap and manet).
+    pub selector: &'static str,
+    /// Artifact stem: results land in `results/<artifact>.json`.
+    pub artifact: &'static str,
+    /// Whether the bare `repro` / `repro all` invocation includes it
+    /// (extensions are opt-in, matching the original driver).
+    pub in_all: bool,
+    /// The job grid, one spec per figure cell.
+    pub specs: Vec<ScenarioSpec>,
+    /// Folds outcomes (same order as `specs`) into the printed table and
+    /// the artifact's `results` value.
+    pub assemble: fn(&[ScenarioSpec], &[Value]) -> (String, Value),
+}
+
+/// Every figure grid of the reproduction, in canonical order.
+///
+/// `trace_fig2` marks the first fig2 scenario `traced`, reproducing the
+/// `--telemetry-dir` behavior of streaming one complete packet trace from
+/// the dumbbell run with the smallest flow count.
+pub fn all_figures(quick: bool, trace_fig2: bool) -> Vec<FigureGrid> {
+    let plan = PlanSpec::from_quick(quick);
+    vec![
+        fig2_grid(quick, plan, trace_fig2),
+        fig3_grid(quick, plan),
+        fig4_grid(quick, plan, true),
+        fig4_grid(quick, plan, false),
+        routeflap_grid(plan),
+        manet_grid(plan),
+        ablations_grid(plan),
+        fig6_grid(quick, plan, 10),
+        fig6_grid(quick, plan, 60),
+    ]
+}
+
+/// The CLI selectors accepted by the repro binary, in display order.
+pub fn selectors() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = Vec::new();
+    for g in all_figures(true, false) {
+        if !names.contains(&g.selector) {
+            names.push(g.selector);
+        }
+    }
+    names
+}
+
+fn fairness_spec(
+    topology: TopologySpec,
+    n_flows: usize,
+    alpha: f64,
+    beta: f64,
+    replicate: u64,
+    plan: PlanSpec,
+) -> ScenarioSpec {
+    ScenarioSpec::new(ScenarioKind::Fairness { topology, n_flows, alpha, beta, replicate }, plan)
+}
+
+fn decode_fairness(v: &Value) -> crate::figures::fairness::FairnessResult {
+    decode::fairness_result(v).expect(
+        "undecodable fairness outcome — a stale or tampered cache entry; clear .sweep-cache",
+    )
+}
+
+fn fig2_grid(quick: bool, plan: PlanSpec, trace_first: bool) -> FigureGrid {
+    let counts: &[usize] = if quick { &[2, 8, 16] } else { &fig2::FLOW_COUNTS };
+    let topologies = [
+        TopologySpec::Dumbbell { bottleneck_mbps: None },
+        TopologySpec::ParkingLot { backbone_mbps: None },
+    ];
+    let mut specs = Vec::new();
+    for t in topologies {
+        for &n in counts {
+            specs.push(fairness_spec(t, n, 0.995, 3.0, 0, plan));
+        }
+    }
+    if trace_first {
+        specs[0].traced = true;
+    }
+    FigureGrid { selector: "fig2", artifact: "fig2", in_all: true, specs, assemble: assemble_fig2 }
+}
+
+fn assemble_fig2(specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    // Group rows into one series per topology, first-seen order.
+    let mut series: Vec<Fig2Series> = Vec::new();
+    for (spec, v) in specs.iter().zip(outcomes) {
+        let row = decode_fairness(v);
+        let ScenarioKind::Fairness { topology, .. } = &spec.kind else {
+            unreachable!("fig2 grid emits only fairness specs")
+        };
+        match series.iter_mut().find(|s| s.topology == topology.label()) {
+            Some(s) => s.rows.push(row),
+            None => {
+                series.push(Fig2Series { topology: topology.label().to_owned(), rows: vec![row] })
+            }
+        }
+    }
+    (fig2::format_table(&series), serde::Serialize::to_value(&series))
+}
+
+fn fig3_grid(quick: bool, plan: PlanSpec) -> FigureGrid {
+    // Smaller bottlenecks ⇒ higher loss (the paper's 4–13% band); the
+    // replicates reproduce the paper's "ten simulations" scatter.
+    let bandwidths: &[f64] = if quick { &[20.0, 8.0] } else { &[25.0, 18.0, 12.0, 8.0, 5.0] };
+    let replicates: u64 = if quick { 2 } else { 10 };
+    let n_flows = if quick { 16 } else { 64 };
+    let mut specs = Vec::new();
+    for &bw in bandwidths {
+        for rep in 0..replicates {
+            let t = TopologySpec::Dumbbell { bottleneck_mbps: Some(bw) };
+            specs.push(fairness_spec(t, n_flows, 0.995, 3.0, rep, plan));
+        }
+    }
+    for &bw in bandwidths {
+        for rep in 0..replicates {
+            let t = TopologySpec::ParkingLot { backbone_mbps: Some(bw * 0.6) };
+            specs.push(fairness_spec(t, n_flows, 0.995, 3.0, rep, plan));
+        }
+    }
+    FigureGrid { selector: "fig3", artifact: "fig3", in_all: true, specs, assemble: assemble_fig3 }
+}
+
+fn assemble_fig3(specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let points: Vec<Fig3Point> = specs
+        .iter()
+        .zip(outcomes)
+        .map(|(spec, v)| {
+            let r = decode_fairness(v);
+            let ScenarioKind::Fairness { topology, replicate, .. } = &spec.kind else {
+                unreachable!("fig3 grid emits only fairness specs")
+            };
+            Fig3Point {
+                topology: r.topology,
+                bandwidth_mbps: topology
+                    .bandwidth_override()
+                    .expect("every fig3 spec overrides the bottleneck"),
+                seed: *replicate,
+                loss_rate_pct: r.loss_rate_pct,
+                cov_pr: r.cov_pr,
+                cov_sack: r.cov_sack,
+            }
+        })
+        .collect();
+    (fig3::format_table(&points), serde::Serialize::to_value(&points))
+}
+
+fn fig4_grid(quick: bool, plan: PlanSpec, dumbbell: bool) -> FigureGrid {
+    let alphas: &[f64] = if quick { &[0.25, 0.995] } else { &fig4::ALPHAS };
+    let betas: &[f64] = if quick { &[1.0, 3.0] } else { &fig4::BETAS };
+    let n_flows = if quick { 8 } else { 64 };
+    let topology = if dumbbell {
+        TopologySpec::Dumbbell { bottleneck_mbps: None }
+    } else {
+        TopologySpec::ParkingLot { backbone_mbps: None }
+    };
+    let mut specs = Vec::new();
+    for &alpha in alphas {
+        for &beta in betas {
+            specs.push(fairness_spec(topology, n_flows, alpha, beta, 0, plan));
+        }
+    }
+    FigureGrid {
+        selector: "fig4",
+        artifact: if dumbbell { "fig4_dumbbell" } else { "fig4_parkinglot" },
+        in_all: true,
+        specs,
+        assemble: assemble_fig4,
+    }
+}
+
+fn assemble_fig4(specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let cells: Vec<Fig4Cell> = specs
+        .iter()
+        .zip(outcomes)
+        .map(|(spec, v)| {
+            let r = decode_fairness(v);
+            let ScenarioKind::Fairness { alpha, beta, .. } = &spec.kind else {
+                unreachable!("fig4 grid emits only fairness specs")
+            };
+            Fig4Cell {
+                topology: r.topology,
+                alpha: *alpha,
+                beta: *beta,
+                mean_sack: r.mean_sack,
+                mean_pr: r.mean_pr,
+            }
+        })
+        .collect();
+    let topology = cells.first().map(|c| c.topology.as_str()).unwrap_or("?");
+    let table = format!("[{topology} topology]\n{}", fig4::format_table(&cells));
+    (table, serde::Serialize::to_value(&cells))
+}
+
+/// The protocols compared by the route-flap and churn extensions.
+const EXT_VARIANTS: [Variant; 5] =
+    [Variant::TcpPr, Variant::Sack, Variant::NewReno, Variant::Eifel, Variant::Door];
+
+fn routeflap_grid(plan: PlanSpec) -> FigureGrid {
+    let cfg = routeflap::RouteFlapConfig::default();
+    let specs = EXT_VARIANTS
+        .iter()
+        .map(|&variant| {
+            ScenarioSpec::new(
+                ScenarioKind::RouteFlap {
+                    variant,
+                    short_delay_ms: cfg.short_delay_ms,
+                    long_delay_ms: cfg.long_delay_ms,
+                    link_mbps: cfg.link_mbps,
+                    flap_period_ms: cfg.flap_period.as_millis(),
+                },
+                plan,
+            )
+        })
+        .collect();
+    FigureGrid {
+        selector: "ext",
+        artifact: "routeflap",
+        in_all: false,
+        specs,
+        assemble: assemble_routeflap,
+    }
+}
+
+fn assemble_routeflap(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let results: Vec<_> = outcomes
+        .iter()
+        .map(|v| decode::routeflap_result(v).expect("undecodable routeflap outcome"))
+        .collect();
+    (routeflap::format_table(&results), serde::Serialize::to_value(&results))
+}
+
+fn manet_grid(plan: PlanSpec) -> FigureGrid {
+    let cfg = manet::ChurnConfig::default();
+    let specs = EXT_VARIANTS
+        .iter()
+        .map(|&variant| {
+            ScenarioSpec::new(
+                ScenarioKind::Churn {
+                    variant,
+                    mean_interval_ms: cfg.mean_interval.as_millis(),
+                    churn_seed: cfg.churn_seed,
+                },
+                plan,
+            )
+        })
+        .collect();
+    FigureGrid {
+        selector: "ext",
+        artifact: "manet",
+        in_all: false,
+        specs,
+        assemble: assemble_manet,
+    }
+}
+
+fn assemble_manet(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let results: Vec<_> = outcomes
+        .iter()
+        .map(|v| decode::churn_result(v).expect("undecodable churn outcome"))
+        .collect();
+    (manet::format_table(&results), serde::Serialize::to_value(&results))
+}
+
+fn ablations_grid(plan: PlanSpec) -> FigureGrid {
+    let specs = Ablation::ALL
+        .iter()
+        .map(|&ablation| ScenarioSpec::new(ScenarioKind::Ablation { ablation }, plan))
+        .collect();
+    FigureGrid {
+        selector: "ablations",
+        artifact: "ablations",
+        in_all: true,
+        specs,
+        assemble: assemble_ablations,
+    }
+}
+
+fn assemble_ablations(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let results: Vec<_> = outcomes
+        .iter()
+        .map(|v| decode::ablation_result(v).expect("undecodable ablation outcome"))
+        .collect();
+    (ablations::format_table(&results), serde::Serialize::to_value(&results))
+}
+
+fn fig6_grid(quick: bool, plan: PlanSpec, link_delay_ms: u64) -> FigureGrid {
+    let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
+    let mut specs = Vec::new();
+    for &variant in &Variant::FIGURE6 {
+        for &epsilon in epsilons {
+            specs.push(ScenarioSpec::new(
+                ScenarioKind::Multipath { variant, epsilon, link_delay_ms },
+                plan,
+            ));
+        }
+    }
+    FigureGrid {
+        selector: "fig6",
+        artifact: if link_delay_ms == 10 { "fig6_10ms" } else { "fig6_60ms" },
+        in_all: true,
+        specs,
+        assemble: assemble_fig6,
+    }
+}
+
+fn assemble_fig6(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let points: Vec<_> =
+        outcomes.iter().map(|v| decode::fig6_point(v).expect("undecodable fig6 outcome")).collect();
+    (fig6::format_table(&points), serde::Serialize::to_value(&points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_every_artifact_once() {
+        let grids = all_figures(true, false);
+        let mut artifacts: Vec<&str> = grids.iter().map(|g| g.artifact).collect();
+        artifacts.sort_unstable();
+        let expected = [
+            "ablations",
+            "fig2",
+            "fig3",
+            "fig4_dumbbell",
+            "fig4_parkinglot",
+            "fig6_10ms",
+            "fig6_60ms",
+            "manet",
+            "routeflap",
+        ];
+        assert_eq!(artifacts, expected);
+        assert_eq!(selectors(), vec!["fig2", "fig3", "fig4", "ext", "ablations", "fig6"]);
+    }
+
+    #[test]
+    fn specs_within_each_grid_are_unique() {
+        // Within one grid, a duplicate hash would mean two cells of the
+        // same figure conflate. (Across grids, duplicates are legitimate
+        // shared experiments — fig2's n = 64 cell is fig4's α = 0.995,
+        // β = 3 cell — and the sweep engine executes them once.)
+        for grid in all_figures(false, false) {
+            let mut hashes: Vec<u64> = grid.specs.iter().map(|s| s.content_hash()).collect();
+            let n = hashes.len();
+            hashes.sort_unstable();
+            hashes.dedup();
+            assert_eq!(hashes.len(), n, "[{}] every cell must hash uniquely", grid.artifact);
+        }
+    }
+
+    #[test]
+    fn cross_figure_duplicates_are_exactly_the_shared_fairness_cells() {
+        // Full mode: fig2 sweeps n up to 64 at the default α/β, and fig4
+        // sweeps α/β at n = 64 — one overlapping cell per topology. Pinning
+        // the count keeps accidental new collisions from hiding behind the
+        // legitimate sharing.
+        let mut hashes: Vec<u64> = all_figures(false, false)
+            .iter()
+            .flat_map(|g| g.specs.iter().map(|s| s.content_hash()))
+            .collect();
+        let n = hashes.len();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(n - hashes.len(), 2, "exactly the two fig2 ∩ fig4 cells");
+    }
+
+    #[test]
+    fn quick_grids_are_smaller_than_full() {
+        let quick: usize = all_figures(true, false).iter().map(|g| g.specs.len()).sum();
+        let full: usize = all_figures(false, false).iter().map(|g| g.specs.len()).sum();
+        assert!(quick < full, "quick {quick} vs full {full}");
+        assert!(quick >= 9, "at least one cell per artifact");
+    }
+
+    #[test]
+    fn tracing_marks_only_the_first_fig2_cell() {
+        let grids = all_figures(true, true);
+        let fig2 = grids.iter().find(|g| g.artifact == "fig2").unwrap();
+        assert!(fig2.specs[0].traced);
+        let traced: usize = grids.iter().flat_map(|g| &g.specs).filter(|s| s.traced).count();
+        assert_eq!(traced, 1);
+    }
+
+    #[test]
+    fn fig2_assembles_series_per_topology() {
+        let plan = PlanSpec::Quick;
+        let grid = fig2_grid(true, plan, false);
+        let outcomes: Vec<Value> = grid
+            .specs
+            .iter()
+            .map(|s| crate::sweep::exec::execute(s, &crate::sweep::exec::ExecCtx::default()))
+            .collect();
+        let (table, results) = (grid.assemble)(&grid.specs, &outcomes);
+        assert!(table.contains("dumbbell") && table.contains("parking-lot"));
+        let Value::Array(series) = &results else { panic!("series array") };
+        assert_eq!(series.len(), 2, "one series per topology");
+    }
+}

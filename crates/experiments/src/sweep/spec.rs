@@ -1,0 +1,405 @@
+//! The sweep job model: a serializable description of one simulation run
+//! with a stable content hash.
+//!
+//! A [`ScenarioSpec`] is everything needed to execute one cell of a figure's
+//! parameter sweep — scenario kind and parameters, measurement plan and the
+//! sweep's base seed. Two properties make the rest of the engine work:
+//!
+//! - **The hash is content-addressed and stable.** [`ScenarioSpec::content_hash`]
+//!   is FNV-1a over a canonical byte encoding (plus [`CODE_SALT`]), so the
+//!   same spec hashes identically across processes, runs and platforms.
+//!   The result cache keys on it, and re-running a sweep only executes
+//!   scenarios whose spec (or the code salt) changed.
+//! - **The simulation seed derives from the hash.** [`ScenarioSpec::sim_seed`]
+//!   is `content_hash ⊕ base_seed`, a pure function of the spec — never of
+//!   worker count, scheduling order or wall clock — which is what makes
+//!   sweep results bit-identical at any `--jobs` level.
+
+use crate::ablations::Ablation;
+use crate::runner::MeasurePlan;
+use crate::variants::Variant;
+
+/// Code-version salt folded into every spec hash. Bump it whenever scenario
+/// *semantics* change (topology defaults, measurement protocol, sender
+/// behavior) so stale cache entries stop matching.
+pub const CODE_SALT: &str = "tcp-pr-sweep-v1";
+
+/// Which topology a fairness scenario runs on, with the figure's bandwidth
+/// override (None = the topology's default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// Single-bottleneck dumbbell, optionally with a non-default
+    /// bottleneck bandwidth (Figure 3 shrinks it to raise loss).
+    Dumbbell {
+        /// Bottleneck bandwidth override, Mbps.
+        bottleneck_mbps: Option<f64>,
+    },
+    /// Figure 1 parking lot, optionally with a non-default backbone
+    /// bandwidth.
+    ParkingLot {
+        /// Backbone bandwidth override, Mbps.
+        backbone_mbps: Option<f64>,
+    },
+}
+
+impl TopologySpec {
+    /// Short name matching [`crate::figures::fairness::FairnessTopology::label`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologySpec::Dumbbell { .. } => "dumbbell",
+            TopologySpec::ParkingLot { .. } => "parking-lot",
+        }
+    }
+
+    /// The bandwidth override, if any.
+    pub fn bandwidth_override(&self) -> Option<f64> {
+        match *self {
+            TopologySpec::Dumbbell { bottleneck_mbps } => bottleneck_mbps,
+            TopologySpec::ParkingLot { backbone_mbps } => backbone_mbps,
+        }
+    }
+}
+
+/// One scenario family and its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// The shared fairness experiment behind Figures 2, 3 and 4: `n_flows`
+    /// test flows (half TCP-PR with the given α/β, half TCP-SACK).
+    Fairness {
+        /// Topology and bandwidth override.
+        topology: TopologySpec,
+        /// Total test flows (even).
+        n_flows: usize,
+        /// TCP-PR memory factor α.
+        alpha: f64,
+        /// TCP-PR threshold multiplier β.
+        beta: f64,
+        /// Replicate index (the paper's "ten simulations" scatter). Folded
+        /// into the hash, so each replicate derives a distinct sim seed.
+        replicate: u64,
+    },
+    /// One (variant, ε) cell of Figure 6 over the Figure 5 mesh.
+    Multipath {
+        /// Protocol under test.
+        variant: Variant,
+        /// Routing spread parameter ε.
+        epsilon: f64,
+        /// Per-link one-way delay, ms.
+        link_delay_ms: u64,
+    },
+    /// Route-flap extension: one variant on the short/long diamond.
+    RouteFlap {
+        /// Protocol under test.
+        variant: Variant,
+        /// Short-path one-way link delay, ms.
+        short_delay_ms: u64,
+        /// Long-path one-way link delay, ms.
+        long_delay_ms: u64,
+        /// Link bandwidth, Mbps.
+        link_mbps: f64,
+        /// Flap period, ms.
+        flap_period_ms: u64,
+    },
+    /// MANET churn extension: one variant under random route recomputation.
+    Churn {
+        /// Protocol under test.
+        variant: Variant,
+        /// Mean interval between route recomputations, ms.
+        mean_interval_ms: u64,
+        /// Seed of the churn schedule (independent of the sim seed).
+        churn_seed: u64,
+    },
+    /// One TCP-PR ablation on the single-flow dumbbell.
+    Ablation {
+        /// Which mechanism is removed.
+        ablation: Ablation,
+    },
+}
+
+/// Measurement plan selector — a closed enum rather than raw durations so
+/// the hash encoding stays canonical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSpec {
+    /// `MeasurePlan::quick()` — 10 s warm-up, 15 s window.
+    Quick,
+    /// `MeasurePlan::default()` — the paper's 60 s + 60 s.
+    Full,
+}
+
+impl PlanSpec {
+    /// Selects by the repro binary's `--quick` flag.
+    pub fn from_quick(quick: bool) -> Self {
+        if quick {
+            PlanSpec::Quick
+        } else {
+            PlanSpec::Full
+        }
+    }
+
+    /// The concrete measurement plan.
+    pub fn plan(self) -> MeasurePlan {
+        match self {
+            PlanSpec::Quick => MeasurePlan::quick(),
+            PlanSpec::Full => MeasurePlan::default(),
+        }
+    }
+}
+
+/// A complete, executable description of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario family and parameters.
+    pub kind: ScenarioKind,
+    /// Warm-up/measurement plan.
+    pub plan: PlanSpec,
+    /// Sweep-level base seed, XORed into the derived sim seed.
+    pub base_seed: u64,
+    /// Stream this run's first-flow packet trace (observability only:
+    /// excluded from the hash, and traced runs bypass the cache so the
+    /// side effect always happens).
+    pub traced: bool,
+}
+
+impl ScenarioSpec {
+    /// A spec with base seed 0 and tracing off.
+    pub fn new(kind: ScenarioKind, plan: PlanSpec) -> Self {
+        ScenarioSpec { kind, plan, base_seed: 0, traced: false }
+    }
+
+    /// Stable content hash: FNV-1a 64 over the canonical encoding of
+    /// everything execution-relevant ([`CODE_SALT`], plan, base seed and
+    /// the kind with all its parameters). `traced` is excluded — tracing
+    /// observes a run without changing it.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(CODE_SALT);
+        h.write_str(match self.plan {
+            PlanSpec::Quick => "quick",
+            PlanSpec::Full => "full",
+        });
+        h.write_u64(self.base_seed);
+        match &self.kind {
+            ScenarioKind::Fairness { topology, n_flows, alpha, beta, replicate } => {
+                h.write_str("fairness");
+                match topology {
+                    TopologySpec::Dumbbell { bottleneck_mbps } => {
+                        h.write_str("dumbbell");
+                        h.write_opt_f64(*bottleneck_mbps);
+                    }
+                    TopologySpec::ParkingLot { backbone_mbps } => {
+                        h.write_str("parking-lot");
+                        h.write_opt_f64(*backbone_mbps);
+                    }
+                }
+                h.write_u64(*n_flows as u64);
+                h.write_f64(*alpha);
+                h.write_f64(*beta);
+                h.write_u64(*replicate);
+            }
+            ScenarioKind::Multipath { variant, epsilon, link_delay_ms } => {
+                h.write_str("multipath");
+                h.write_str(variant.label());
+                h.write_f64(*epsilon);
+                h.write_u64(*link_delay_ms);
+            }
+            ScenarioKind::RouteFlap {
+                variant,
+                short_delay_ms,
+                long_delay_ms,
+                link_mbps,
+                flap_period_ms,
+            } => {
+                h.write_str("routeflap");
+                h.write_str(variant.label());
+                h.write_u64(*short_delay_ms);
+                h.write_u64(*long_delay_ms);
+                h.write_f64(*link_mbps);
+                h.write_u64(*flap_period_ms);
+            }
+            ScenarioKind::Churn { variant, mean_interval_ms, churn_seed } => {
+                h.write_str("churn");
+                h.write_str(variant.label());
+                h.write_u64(*mean_interval_ms);
+                h.write_u64(*churn_seed);
+            }
+            ScenarioKind::Ablation { ablation } => {
+                h.write_str("ablation");
+                h.write_str(ablation.label());
+            }
+        }
+        h.finish()
+    }
+
+    /// The hash as the 16-hex-digit cache key.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// The simulator seed for this run: `hash(spec) ⊕ base_seed`. Depends
+    /// only on the spec's content, never on scheduling.
+    pub fn sim_seed(&self) -> u64 {
+        self.content_hash() ^ self.base_seed
+    }
+
+    /// Short human label for progress lines and crash reports.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            ScenarioKind::Fairness { topology, n_flows, alpha, beta, replicate } => {
+                match topology.bandwidth_override() {
+                    Some(bw) => {
+                        format!("fairness {} n={n_flows} bw={bw} rep={replicate}", topology.label())
+                    }
+                    None => format!(
+                        "fairness {} n={n_flows} α={alpha} β={beta} rep={replicate}",
+                        topology.label()
+                    ),
+                }
+            }
+            ScenarioKind::Multipath { variant, epsilon, link_delay_ms } => {
+                format!("fig6 {variant} ε={epsilon} delay={link_delay_ms}ms")
+            }
+            ScenarioKind::RouteFlap { variant, flap_period_ms, .. } => {
+                format!("routeflap {variant} period={flap_period_ms}ms")
+            }
+            ScenarioKind::Churn { variant, mean_interval_ms, .. } => {
+                format!("churn {variant} mean={mean_interval_ms}ms")
+            }
+            ScenarioKind::Ablation { ablation } => format!("ablation: {}", ablation.label()),
+        }
+    }
+}
+
+/// Incremental FNV-1a 64-bit hasher with length-prefixed field framing, so
+/// adjacent fields can never alias (`"ab" + "c"` ≠ `"a" + "bc"`).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn write_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.write_bytes(&[1]);
+                self.write_f64(x);
+            }
+            None => self.write_bytes(&[0]),
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fairness_spec(n_flows: usize, replicate: u64) -> ScenarioSpec {
+        ScenarioSpec::new(
+            ScenarioKind::Fairness {
+                topology: TopologySpec::Dumbbell { bottleneck_mbps: None },
+                n_flows,
+                alpha: 0.995,
+                beta: 3.0,
+                replicate,
+            },
+            PlanSpec::Quick,
+        )
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_content_addressed() {
+        let a = fairness_spec(8, 1);
+        assert_eq!(a.content_hash(), a.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        assert_ne!(a.content_hash(), fairness_spec(16, 1).content_hash());
+        assert_ne!(a.content_hash(), fairness_spec(8, 2).content_hash());
+        let full = ScenarioSpec { plan: PlanSpec::Full, ..a.clone() };
+        assert_ne!(a.content_hash(), full.content_hash(), "plan is execution-relevant");
+        let seeded = ScenarioSpec { base_seed: 7, ..a.clone() };
+        assert_ne!(a.content_hash(), seeded.content_hash(), "base seed is execution-relevant");
+        let traced = ScenarioSpec { traced: true, ..a.clone() };
+        assert_eq!(a.content_hash(), traced.content_hash(), "tracing only observes");
+    }
+
+    #[test]
+    fn hash_is_stable_across_releases() {
+        // Pinned value: guards the canonical encoding (and CODE_SALT)
+        // against accidental drift, which would silently invalidate every
+        // on-disk cache and change every derived sim seed.
+        assert_eq!(fairness_spec(8, 1).hash_hex(), "adbc5eaf101c1722");
+    }
+
+    #[test]
+    fn sim_seed_derives_from_hash_and_base_seed() {
+        let a = fairness_spec(8, 1);
+        assert_eq!(a.sim_seed(), a.content_hash() ^ a.base_seed);
+        let b = ScenarioSpec { base_seed: 99, ..a.clone() };
+        assert_eq!(b.sim_seed(), b.content_hash() ^ 99);
+        assert_ne!(a.sim_seed(), b.sim_seed());
+    }
+
+    #[test]
+    fn distinct_kinds_hash_apart() {
+        let specs = [
+            fairness_spec(8, 1),
+            ScenarioSpec::new(
+                ScenarioKind::Multipath {
+                    variant: Variant::TcpPr,
+                    epsilon: 0.0,
+                    link_delay_ms: 10,
+                },
+                PlanSpec::Quick,
+            ),
+            ScenarioSpec::new(ScenarioKind::Ablation { ablation: Ablation::None }, PlanSpec::Quick),
+            ScenarioSpec::new(
+                ScenarioKind::Churn {
+                    variant: Variant::TcpPr,
+                    mean_interval_ms: 400,
+                    churn_seed: 42,
+                },
+                PlanSpec::Quick,
+            ),
+        ];
+        let mut hashes: Vec<u64> = specs.iter().map(ScenarioSpec::content_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), specs.len());
+    }
+
+    #[test]
+    fn labels_name_the_scenario() {
+        assert!(fairness_spec(8, 3).label().contains("n=8"));
+        let m = ScenarioSpec::new(
+            ScenarioKind::Multipath { variant: Variant::TdFr, epsilon: 4.0, link_delay_ms: 60 },
+            PlanSpec::Full,
+        );
+        assert!(m.label().contains("TD-FR"));
+    }
+}

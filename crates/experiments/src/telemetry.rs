@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use netsim::telemetry::{session, RunHealth};
+use netsim::telemetry::{session, RunHealth, SessionStats};
 
 /// Wall-clock + session-stats bracket around one figure's worth of
 /// simulations.
@@ -42,10 +42,16 @@ impl FigureTimer {
 /// ```json
 /// { "results": <results>, "run_health": { "events_processed": ..., ... } }
 /// ```
-pub fn artifact_json<T: serde::Serialize + ?Sized>(results: &T, health: &RunHealth) -> String {
+///
+/// The block carries only the *deterministic* accounting of the run
+/// ([`SessionStats`]: simulators, events, peak heap, dropped trace
+/// records), so artifacts are byte-identical across repeat runs, worker
+/// counts and cache resumption. Wall-clock performance belongs on stderr
+/// and in `results/bench_sweep.json`, not in figure artifacts.
+pub fn artifact_json<T: serde::Serialize + ?Sized>(results: &T, work: &SessionStats) -> String {
     let wrapped = serde_json::Value::Object(vec![
         ("results".to_owned(), serde_json::to_value(results)),
-        ("run_health".to_owned(), serde_json::to_value(health)),
+        ("run_health".to_owned(), serde_json::to_value(work)),
     ]);
     serde_json::to_string_pretty(&wrapped).expect("shim serializer is total")
 }
@@ -53,12 +59,11 @@ pub fn artifact_json<T: serde::Serialize + ?Sized>(results: &T, health: &RunHeal
 /// Prints a stderr warning if the run lost trace records outright
 /// (overflowed the in-memory buffer with no sink attached). Returns true
 /// if it warned.
-pub fn warn_if_dropped(figure: &str, health: &RunHealth) -> bool {
-    if health.dropped_trace_records > 0 {
+pub fn warn_if_dropped(figure: &str, dropped_trace_records: u64) -> bool {
+    if dropped_trace_records > 0 {
         eprintln!(
-            "warning: [{figure}] dropped {} trace record(s) — raise the trace \
-             buffer capacity or attach a streaming sink",
-            health.dropped_trace_records
+            "warning: [{figure}] dropped {dropped_trace_records} trace record(s) — raise the \
+             trace buffer capacity or attach a streaming sink",
         );
         true
     } else {
@@ -107,22 +112,26 @@ mod tests {
 
     #[test]
     fn artifact_embeds_results_and_run_health() {
-        let timer = FigureTimer::start();
-        let health = timer.finish();
+        let work = SessionStats {
+            sims: 2,
+            events_processed: 512,
+            peak_event_heap: 31,
+            dropped_trace_records: 0,
+        };
         let rows = vec![1.0_f64, 2.0];
-        let json = artifact_json(&rows, &health);
+        let json = artifact_json(&rows, &work);
         assert!(json.contains("\"results\""));
         assert!(json.contains("\"run_health\""));
-        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"events_processed\""));
         assert!(json.contains("\"dropped_trace_records\""));
+        // The block must stay deterministic: no wall-clock-derived fields.
+        assert!(!json.contains("events_per_sec"));
+        assert!(!json.contains("wall_time_s"));
     }
 
     #[test]
     fn warns_only_when_records_were_lost() {
-        let timer = FigureTimer::start();
-        let mut health = timer.finish();
-        assert!(!warn_if_dropped("test", &health));
-        health.dropped_trace_records = 3;
-        assert!(warn_if_dropped("test", &health));
+        assert!(!warn_if_dropped("test", 0));
+        assert!(warn_if_dropped("test", 3));
     }
 }

@@ -63,6 +63,13 @@ impl Variant {
         Variant::Door,
     ];
 
+    /// The inverse of serialization: resolves a variant from the name the
+    /// serde derive emits (`"TcpPr"`, `"TdFr"`, …). Used by the sweep cache
+    /// when decoding stored outcomes.
+    pub fn from_name(name: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| format!("{v:?}") == name)
+    }
+
     /// Display label (matches the paper's figure legends where applicable).
     pub fn label(self) -> &'static str {
         match self {
@@ -142,6 +149,15 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), Variant::ALL.len());
+    }
+
+    #[test]
+    fn from_name_inverts_serialization() {
+        for v in Variant::ALL {
+            let name = format!("{v:?}");
+            assert_eq!(Variant::from_name(&name), Some(v));
+        }
+        assert_eq!(Variant::from_name("NotAVariant"), None);
     }
 
     #[test]

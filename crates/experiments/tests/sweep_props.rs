@@ -1,0 +1,102 @@
+//! Property tests over the sweep engine's two determinism pillars:
+//! content-addressed spec hashing and the JSON round trip the result cache
+//! depends on.
+
+use experiments::sweep::spec::{PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec};
+use proptest::prelude::*;
+use serde::Value;
+
+/// Builds a fairness spec from integer-sampled parameters (α in
+/// millièmes, β in tenths — the grids only use such round values, and
+/// integer sampling keeps every case bit-exact).
+fn fairness(n_flows: usize, alpha_milli: u64, beta_tenths: u64, replicate: u64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        ScenarioKind::Fairness {
+            topology: TopologySpec::Dumbbell { bottleneck_mbps: None },
+            n_flows,
+            alpha: alpha_milli as f64 / 1000.0,
+            beta: beta_tenths as f64 / 10.0,
+            replicate,
+        },
+        PlanSpec::Quick,
+    )
+}
+
+proptest! {
+    #[test]
+    fn hash_is_a_pure_function_of_content(
+        n in 1usize..128,
+        alpha_milli in 1u64..1000,
+        beta_tenths in 10u64..100,
+        replicate in 0u64..16,
+        base_seed in 0u64..1_000_000,
+    ) {
+        // Two independently constructed, identical specs hash identically.
+        let a = ScenarioSpec {
+            base_seed,
+            ..fairness(n, alpha_milli, beta_tenths, replicate)
+        };
+        let b = ScenarioSpec {
+            base_seed,
+            ..fairness(n, alpha_milli, beta_tenths, replicate)
+        };
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.hash_hex(), b.hash_hex());
+
+        // The sim seed is exactly hash ⊕ base_seed — scheduling-free.
+        prop_assert_eq!(a.sim_seed(), a.content_hash() ^ base_seed);
+
+        // `traced` is observability only: it never moves the hash (and so
+        // never moves the derived seed or the cache key).
+        let traced = ScenarioSpec { traced: true, ..a.clone() };
+        prop_assert_eq!(traced.content_hash(), a.content_hash());
+    }
+
+    #[test]
+    fn execution_relevant_fields_move_the_hash(
+        n in 1usize..128,
+        replicate in 0u64..16,
+    ) {
+        let a = fairness(n, 995, 30, replicate);
+        prop_assert_ne!(
+            a.content_hash(),
+            fairness(n + 1, 995, 30, replicate).content_hash()
+        );
+        prop_assert_ne!(
+            a.content_hash(),
+            fairness(n, 995, 30, replicate + 1).content_hash()
+        );
+        let full = ScenarioSpec { plan: PlanSpec::Full, ..a.clone() };
+        prop_assert_ne!(a.content_hash(), full.content_hash());
+    }
+
+    #[test]
+    fn json_print_parse_print_is_idempotent(
+        mantissa in 0u64..1_000_000_000,
+        divisor_pow in 0u32..9,
+        count in 0u64..1_000_000,
+    ) {
+        // The cache writes values that already went through one
+        // print-parse trip; a second trip must be a fixed point, or cached
+        // and fresh artifacts could drift apart byte by byte.
+        let float = mantissa as f64 / 10f64.powi(divisor_pow as i32);
+        let v = Value::Object(vec![
+            ("mbps".to_owned(), Value::Float(float)),
+            ("count".to_owned(), Value::UInt(count)),
+            ("label".to_owned(), Value::Str("fig6 ε=0.5 \"quoted\"".to_owned())),
+            ("nested".to_owned(), Value::Array(vec![
+                Value::Float(-float),
+                Value::Int(-(count as i64)),
+                Value::Null,
+                Value::Bool(true),
+            ])),
+        ]);
+        let once = serde_json::to_string(&v).expect("total");
+        let reparsed = match serde_json::from_str(&once) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("reparse failed: {e}"))),
+        };
+        let twice = serde_json::to_string(&reparsed).expect("total");
+        prop_assert_eq!(&once, &twice, "print-parse-print must be a fixed point");
+    }
+}

@@ -167,6 +167,18 @@ pub struct SessionStats {
     pub dropped_trace_records: u64,
 }
 
+impl SessionStats {
+    /// Folds another accounting block into this one (counters add, the
+    /// peak takes the max) — for aggregating per-scenario stats collected
+    /// on worker threads into a per-figure or per-sweep total.
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.sims += other.sims;
+        self.events_processed += other.events_processed;
+        self.peak_event_heap = self.peak_event_heap.max(other.peak_event_heap);
+        self.dropped_trace_records += other.dropped_trace_records;
+    }
+}
+
 /// Thread-local accumulator fed automatically when a [`Simulator`] is
 /// dropped. Reset it before a unit of work, snapshot it after, and the
 /// difference is that unit's cost — no plumbing through intermediate
@@ -191,6 +203,15 @@ pub mod session {
     /// The accumulator's current totals for this thread.
     pub fn snapshot() -> SessionStats {
         SESSION.with(|s| *s.borrow())
+    }
+
+    /// Returns the accumulator's totals and zeroes it in one step.
+    ///
+    /// This is the per-unit-of-work collection primitive for worker
+    /// threads: between two `take` calls, everything a thread simulated is
+    /// attributed to exactly one unit, with no window for double counting.
+    pub fn take() -> SessionStats {
+        SESSION.with(|s| std::mem::take(&mut *s.borrow_mut()))
     }
 
     /// Folds one simulator's final accounting into the accumulator.
@@ -356,6 +377,52 @@ mod tests {
         assert!(s.peak_event_heap > 0);
         session::reset();
         assert_eq!(session::snapshot(), SessionStats::default());
+    }
+
+    #[test]
+    fn session_take_collects_and_clears_per_thread() {
+        session::reset();
+        {
+            let (mut sim, _) = burst_sim();
+            sim.run_until(SimTime::from_secs_f64(1.0));
+        }
+        let taken = session::take();
+        assert_eq!(taken.sims, 1);
+        assert!(taken.events_processed > 0);
+        assert_eq!(session::snapshot(), SessionStats::default(), "take must clear");
+
+        // Worker threads each own an independent accumulator.
+        let handle = std::thread::spawn(|| {
+            {
+                let (mut sim, _) = burst_sim();
+                sim.run_until(SimTime::from_secs_f64(1.0));
+            }
+            session::take()
+        });
+        let worker = handle.join().expect("worker");
+        assert_eq!(worker.sims, 1);
+        assert_eq!(session::snapshot().sims, 0, "worker's sims never leak into this thread");
+    }
+
+    #[test]
+    fn session_stats_merge_adds_counters_and_maxes_peak() {
+        let mut a = SessionStats {
+            sims: 1,
+            events_processed: 100,
+            peak_event_heap: 40,
+            dropped_trace_records: 2,
+        };
+        let b = SessionStats {
+            sims: 2,
+            events_processed: 50,
+            peak_event_heap: 90,
+            dropped_trace_records: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.sims, 3);
+        assert_eq!(a.events_processed, 150);
+        assert_eq!(a.peak_event_heap, 90, "peak is a max, not a sum");
+        assert_eq!(a.dropped_trace_records, 2);
     }
 
     #[test]

@@ -142,6 +142,11 @@ impl SimDuration {
         self.0
     }
 
+    /// Whole milliseconds in this duration (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
     /// Seconds in this duration, as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

@@ -1,20 +1,27 @@
 //! Minimal offline stand-in for `serde_json`.
 //!
-//! Renders the `serde` shim's [`Value`] tree as JSON text. Only the
-//! serialization half exists — nothing in this repo parses JSON back in.
+//! Renders the `serde` shim's [`Value`] tree as JSON text, and parses JSON
+//! text back into a [`Value`] tree ([`from_str`]) for consumers that read
+//! their own artifacts back (the experiments sweep cache).
 
 pub use serde::Value;
 
 use std::fmt;
 
-/// Serialization error. The shim's printer is total, so this is never
-/// actually produced; it exists so call sites can keep their `?`/`unwrap`.
+/// Serialization or parse error. The shim's printer is total, so only
+/// [`from_str`] actually produces one.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(msg: impl Into<String>, at: usize) -> Self {
+        Error(format!("{} at byte {at}", msg.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim error")
+        f.write_str(&self.0)
     }
 }
 
@@ -40,6 +47,183 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Covers the full JSON grammar this shim's printer emits (and standard
+/// JSON generally): objects, arrays, strings with escapes, numbers
+/// (including exponents), booleans and `null`. Numbers without a fraction
+/// or exponent parse as [`Value::UInt`]/[`Value::Int`]; everything else
+/// numeric parses as [`Value::Float`].
+pub fn from_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::parse("trailing characters", pos));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::parse(format!("expected `{lit}`"), *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::parse("unexpected end of input", *pos)),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::parse("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                entries.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::parse("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::parse("expected string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::parse("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::parse("bad \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::parse("bad \\u escape", *pos))?;
+                        // Surrogates (only reachable via hand-written input)
+                        // fall back to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::parse("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte sequences included).
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::parse("invalid UTF-8", *pos))?;
+                let c = s.chars().next().expect("non-empty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| Error::parse("invalid number", start))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::parse("expected value", start));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
 }
 
 /// Appends `s` JSON-escaped (including surrounding quotes) to `out`.
@@ -148,5 +332,51 @@ mod tests {
     fn nonfinite_floats_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_printer_output() {
+        let v = Value::Object(vec![
+            ("u".into(), Value::UInt(18_446_744_073_709_551_615)),
+            ("i".into(), Value::Int(-42)),
+            ("f".into(), Value::Float(0.1234567890123)),
+            ("s".into(), Value::Str("tab\there \"q\" \\ ünïcode".into())),
+            ("a".into(), Value::Array(vec![Value::Null, Value::Bool(true), Value::Bool(false)])),
+            ("o".into(), Value::Object(vec![])),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_print_is_idempotent_for_integral_floats() {
+        // Float(1) prints as "1" and parses back as UInt(1); the printed
+        // form is a fixed point even though the variant changes.
+        let text = to_string(&Value::Float(1.0)).unwrap();
+        let reparsed = from_str(&text).unwrap();
+        assert_eq!(reparsed, Value::UInt(1));
+        assert_eq!(to_string(&reparsed).unwrap(), text);
+    }
+
+    #[test]
+    fn parse_handles_exponents_and_float_precision() {
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-2.5E-2").unwrap(), Value::Float(-0.025));
+        // Shortest-roundtrip printing survives a parse cycle exactly.
+        let x: f64 = 0.1 + 0.2;
+        let text = to_string(&x).unwrap();
+        match from_str(&text).unwrap() {
+            Value::Float(y) => assert_eq!(x.to_bits(), y.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"open", "{\"k\" 1}", "01x", "nul", "1 2", "{,}"] {
+            assert!(from_str(bad).is_err(), "`{bad}` must not parse");
+        }
     }
 }
