@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cargo run -p experiments --bin repro --release -- \
-//!     [fig2|fig3|fig4|fig6|ablations|ext|bench-sweep|all] \
-//!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>]
+//!     [fig2|fig3|fig4|fig6|ablations|ext|stress|stress-smoke|bench-sweep|all] \
+//!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>] [--list]
 //! ```
 //!
 //! Every requested figure is expanded into a grid of scenario specs and the
@@ -59,6 +59,10 @@ fn parse_args() -> Cli {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--list" => {
+                print_listing();
+                exit(0);
+            }
             "--quick" => cli.quick = true,
             "--resume" => cli.resume = true,
             "--no-cache" => cli.no_cache = true,
@@ -89,14 +93,32 @@ fn parse_args() -> Cli {
     }
     for w in &cli.which {
         if w != "all" && w != "bench-sweep" && !selectors().contains(&w.as_str()) {
-            eprintln!(
-                "error: unknown selector {w} (expected one of: {}, bench-sweep, all)",
-                selectors().join(", ")
-            );
+            eprintln!("error: unknown selector {w}");
+            print_listing();
             exit(2);
         }
     }
     cli
+}
+
+/// Prints every selector with its artifacts and cell counts (`--list`, and
+/// the footer of the unknown-selector error).
+fn print_listing() {
+    let quick = all_figures(true, false);
+    let full = all_figures(false, false);
+    println!("selectors (* = included in bare `repro` / `repro all`):");
+    println!("  {:<14} {:>11}  artifacts", "selector", "quick/full");
+    for sel in selectors() {
+        let grids: Vec<_> = quick.iter().filter(|g| g.selector == sel).collect();
+        let mark = if grids.iter().any(|g| g.in_all) { "*" } else { " " };
+        let qc: usize = grids.iter().map(|g| g.specs.len()).sum();
+        let fc: usize = full.iter().filter(|g| g.selector == sel).map(|g| g.specs.len()).sum();
+        let artifacts: Vec<String> =
+            grids.iter().map(|g| format!("results/{}.json", g.artifact)).collect();
+        println!(" {mark}{:<14} {:>5}/{:<5}  {}", sel, qc, fc, artifacts.join(", "));
+    }
+    println!(" {:<15} serial-vs-parallel sweep timing -> results/bench_sweep.json", "bench-sweep");
+    println!(" {:<15} every selector marked *", "all");
 }
 
 /// `fs::create_dir_all` with an error message naming the offending path.

@@ -13,6 +13,8 @@
 //! - [`figures`]: one harness per figure (2, 3, 4 and 6);
 //! - [`sweep`]: the deterministic parallel sweep engine (scenario specs,
 //!   worker pool, content-addressed result cache);
+//! - [`stress`]: the impairment stress suite over `netsim::impair`
+//!   (burst loss, jitter, duplication, link flaps, oscillating capacity);
 //! - [`telemetry`]: run-health blocks ([`FigureTimer`](telemetry::FigureTimer))
 //!   and the `results/*.json` artifact wrapper.
 //!
@@ -49,6 +51,7 @@ pub mod manet;
 pub mod metrics;
 pub mod routeflap;
 pub mod runner;
+pub mod stress;
 pub mod sweep;
 pub mod telemetry;
 pub mod topologies;

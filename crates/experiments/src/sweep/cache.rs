@@ -89,12 +89,19 @@ impl Cache {
         }
         let outcome = decode::get(&v, "outcome")?.clone();
         let work = decode::get(&v, "work")?;
+        // Every field is required (`?`): entries written before a field
+        // existed are treated as misses, so schema growth needs no salt
+        // bump — old entries simply re-execute once.
         let work = SessionStats {
             sims: decode::get(work, "sims").and_then(decode::as_u64)?,
             events_processed: decode::get(work, "events_processed").and_then(decode::as_u64)?,
             peak_event_heap: decode::get(work, "peak_event_heap").and_then(decode::as_u64)?,
             dropped_trace_records: decode::get(work, "dropped_trace_records")
                 .and_then(decode::as_u64)?,
+            impair_drops: decode::get(work, "impair_drops").and_then(decode::as_u64)?,
+            impair_dups: decode::get(work, "impair_dups").and_then(decode::as_u64)?,
+            impair_reorders: decode::get(work, "impair_reorders").and_then(decode::as_u64)?,
+            link_flaps: decode::get(work, "link_flaps").and_then(decode::as_u64)?,
         };
         Some(CachedRun { outcome, work })
     }
@@ -128,6 +135,10 @@ impl Cache {
                         "dropped_trace_records".to_owned(),
                         Value::UInt(run.work.dropped_trace_records),
                     ),
+                    ("impair_drops".to_owned(), Value::UInt(run.work.impair_drops)),
+                    ("impair_dups".to_owned(), Value::UInt(run.work.impair_dups)),
+                    ("impair_reorders".to_owned(), Value::UInt(run.work.impair_reorders)),
+                    ("link_flaps".to_owned(), Value::UInt(run.work.link_flaps)),
                 ]),
             ),
         ]);
@@ -185,6 +196,10 @@ mod tests {
                 events_processed: 12345,
                 peak_event_heap: 67,
                 dropped_trace_records: 0,
+                impair_drops: 3,
+                impair_dups: 2,
+                impair_reorders: 5,
+                link_flaps: 1,
             },
         }
     }

@@ -15,6 +15,7 @@ use crate::figures::fairness::FairnessResult;
 use crate::figures::fig6::Fig6Point;
 use crate::manet::ChurnResult;
 use crate::routeflap::RouteFlapResult;
+use crate::stress::StressResult;
 use crate::variants::Variant;
 
 /// Looks up `key` in an object value.
@@ -119,6 +120,23 @@ pub fn churn_result(v: &Value) -> Option<ChurnResult> {
     })
 }
 
+/// Decodes a [`StressResult`].
+pub fn stress_result(v: &Value) -> Option<StressResult> {
+    Some(StressResult {
+        variant: Variant::from_name(as_str(get(v, "variant")?)?)?,
+        profile: as_str(get(v, "profile")?)?.to_owned(),
+        mbps: f64_field(v, "mbps")?,
+        retransmits: u64_field(v, "retransmits")?,
+        segments_sent: u64_field(v, "segments_sent")?,
+        late_arrivals: u64_field(v, "late_arrivals")?,
+        receiver_duplicates: u64_field(v, "receiver_duplicates")?,
+        impair_drops: u64_field(v, "impair_drops")?,
+        impair_dups: u64_field(v, "impair_dups")?,
+        reorder_displacements: u64_field(v, "reorder_displacements")?,
+        link_flaps: u64_field(v, "link_flaps")?,
+    })
+}
+
 /// Decodes an [`AblationResult`].
 pub fn ablation_result(v: &Value) -> Option<AblationResult> {
     Some(AblationResult {
@@ -176,6 +194,31 @@ mod tests {
         let decoded = fig6_point(&v).expect("decode");
         assert_eq!(decoded.variant, Variant::TdFr);
         assert_eq!(serde::Serialize::to_value(&decoded), v);
+    }
+
+    #[test]
+    fn stress_result_roundtrips() {
+        let r = StressResult {
+            variant: Variant::Sack,
+            profile: "burst-loss+jitter".to_owned(),
+            mbps: 4.25,
+            retransmits: 31,
+            segments_sent: 9000,
+            late_arrivals: 120,
+            receiver_duplicates: 8,
+            impair_drops: 77,
+            impair_dups: 9,
+            reorder_displacements: 210,
+            link_flaps: 5,
+        };
+        let v = serde::Serialize::to_value(&r);
+        let decoded = stress_result(&v).expect("decode");
+        assert_eq!(serde::Serialize::to_value(&decoded), v);
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        let decoded = stress_result(&reparsed).expect("decode after parse");
+        assert_eq!(decoded.profile, r.profile);
+        assert_eq!(decoded.impair_drops, r.impair_drops);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::figures::fairness::{
 use crate::figures::fig6;
 use crate::manet::{self, ChurnConfig};
 use crate::routeflap::{self, RouteFlapConfig};
+use crate::stress::{self, StressConfig};
 use crate::sweep::spec::{ScenarioKind, ScenarioSpec, TopologySpec};
 use crate::topologies::{DumbbellConfig, MeshConfig, ParkingLotConfig};
 use netsim::time::SimDuration;
@@ -125,6 +126,16 @@ pub fn execute(spec: &ScenarioSpec, ctx: &ExecCtx) -> Value {
         }
         ScenarioKind::Ablation { ablation } => {
             let r = ablations::run_ablation(*ablation, plan, seed);
+            serde::Serialize::to_value(&r)
+        }
+        ScenarioKind::Stress { variant } => {
+            let r = stress::run_stress(
+                *variant,
+                &spec.impairments,
+                StressConfig::default(),
+                plan,
+                seed,
+            );
             serde::Serialize::to_value(&r)
         }
     }

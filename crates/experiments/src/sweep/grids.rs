@@ -21,9 +21,9 @@ use crate::figures::fig3::{self, Fig3Point};
 use crate::figures::fig4::{self, Fig4Cell};
 use crate::figures::fig6;
 use crate::sweep::decode;
-use crate::sweep::spec::{PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec};
+use crate::sweep::spec::{ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec};
 use crate::variants::Variant;
-use crate::{manet, routeflap};
+use crate::{manet, routeflap, stress};
 
 /// One artifact's worth of sweep work: its job grid plus the assembler
 /// that turns outcomes into the table and the `results/<artifact>.json`
@@ -62,6 +62,8 @@ pub fn all_figures(quick: bool, trace_fig2: bool) -> Vec<FigureGrid> {
         ablations_grid(plan),
         fig6_grid(quick, plan, 10),
         fig6_grid(quick, plan, 60),
+        stress_grid(quick, plan),
+        stress_smoke_grid(),
     ]
 }
 
@@ -314,6 +316,91 @@ fn assemble_ablations(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, V
     (ablations::format_table(&results), serde::Serialize::to_value(&results))
 }
 
+/// The eight protocols of the stress suite: the paper's main contenders
+/// plus one representative per DSACK response and both extensions.
+pub const STRESS_VARIANTS: [Variant; 8] = [
+    Variant::TcpPr,
+    Variant::TdFr,
+    Variant::DsackNm,
+    Variant::Ewma,
+    Variant::Sack,
+    Variant::NewReno,
+    Variant::Eifel,
+    Variant::Door,
+];
+
+/// The impairment profiles of the stress matrix, in table order. Quick
+/// mode keeps the four qualitatively distinct ones (clean, burst loss,
+/// reorder + duplicate, flapping); full mode adds i.i.d. loss and the two
+/// capacity/delay oscillations.
+fn stress_profiles(quick: bool) -> Vec<Vec<ImpairmentSpec>> {
+    let mut profiles = vec![
+        Vec::new(), // baseline
+        vec![ImpairmentSpec::BurstLoss { p_good_to_bad: 0.02, p_bad_to_good: 0.3, loss_bad: 1.0 }],
+        vec![
+            ImpairmentSpec::Jitter { prob: 0.3, max_extra_ms: 30 },
+            ImpairmentSpec::Displace { every: 20, depth: 4 },
+            ImpairmentSpec::Duplicate { p: 0.02 },
+        ],
+        vec![ImpairmentSpec::Flap { period_ms: 3000, down_ms: 300 }],
+    ];
+    if !quick {
+        profiles.push(vec![ImpairmentSpec::IidLoss { p: 0.01 }]);
+        profiles
+            .push(vec![ImpairmentSpec::BandwidthOscillation { low_mbps: 3.0, period_ms: 2000 }]);
+        profiles
+            .push(vec![ImpairmentSpec::DelayOscillation { high_delay_ms: 60, period_ms: 2000 }]);
+    }
+    profiles
+}
+
+fn stress_grid(quick: bool, plan: PlanSpec) -> FigureGrid {
+    let mut specs = Vec::new();
+    for &variant in &STRESS_VARIANTS {
+        for profile in stress_profiles(quick) {
+            specs.push(
+                ScenarioSpec::new(ScenarioKind::Stress { variant }, plan).with_impairments(profile),
+            );
+        }
+    }
+    FigureGrid {
+        selector: "stress",
+        artifact: "stress",
+        in_all: false,
+        specs,
+        assemble: assemble_stress,
+    }
+}
+
+/// The CI smoke slice of the stress matrix: TCP-PR over the quick
+/// profiles, pinned to the quick plan regardless of `--quick` so the job
+/// stays cheap (and so the full-mode grid set has no accidental overlap
+/// with it).
+fn stress_smoke_grid() -> FigureGrid {
+    let specs = stress_profiles(true)
+        .into_iter()
+        .map(|profile| {
+            ScenarioSpec::new(ScenarioKind::Stress { variant: Variant::TcpPr }, PlanSpec::Quick)
+                .with_impairments(profile)
+        })
+        .collect();
+    FigureGrid {
+        selector: "stress-smoke",
+        artifact: "stress_smoke",
+        in_all: false,
+        specs,
+        assemble: assemble_stress,
+    }
+}
+
+fn assemble_stress(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let results: Vec<_> = outcomes
+        .iter()
+        .map(|v| decode::stress_result(v).expect("undecodable stress outcome"))
+        .collect();
+    (stress::format_table(&results), serde::Serialize::to_value(&results))
+}
+
 fn fig6_grid(quick: bool, plan: PlanSpec, link_delay_ms: u64) -> FigureGrid {
     let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
     let mut specs = Vec::new();
@@ -359,9 +446,41 @@ mod tests {
             "fig6_60ms",
             "manet",
             "routeflap",
+            "stress",
+            "stress_smoke",
         ];
         assert_eq!(artifacts, expected);
-        assert_eq!(selectors(), vec!["fig2", "fig3", "fig4", "ext", "ablations", "fig6"]);
+        assert_eq!(
+            selectors(),
+            vec!["fig2", "fig3", "fig4", "ext", "ablations", "fig6", "stress", "stress-smoke"]
+        );
+    }
+
+    #[test]
+    fn stress_grid_covers_the_variant_profile_matrix() {
+        let grids = all_figures(false, false);
+        let grid = grids.iter().find(|g| g.artifact == "stress").unwrap();
+        assert_eq!(grid.specs.len(), STRESS_VARIANTS.len() * 7, "8 variants × 7 profiles");
+        assert!(!grid.in_all, "stress is opt-in like the other extensions");
+        let baselines = grid.specs.iter().filter(|s| s.impairments.is_empty()).count();
+        assert_eq!(baselines, STRESS_VARIANTS.len(), "one baseline cell per variant");
+    }
+
+    #[test]
+    fn stress_smoke_is_always_quick() {
+        // The smoke grid ignores `--quick`: in full mode its specs stay on
+        // the quick plan and quick profiles, so CI cost is bounded and the
+        // full-mode grid set has no cross-grid hash overlap with it.
+        for quick in [true, false] {
+            let grids = all_figures(quick, false);
+            let smoke = grids.iter().find(|g| g.artifact == "stress_smoke").unwrap();
+            assert_eq!(smoke.specs.len(), 4);
+            assert!(smoke.specs.iter().all(|s| s.plan == PlanSpec::Quick));
+            assert!(smoke
+                .specs
+                .iter()
+                .all(|s| matches!(s.kind, ScenarioKind::Stress { variant: Variant::TcpPr })));
+        }
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub use cache::{Cache, CachePolicy, CachedRun, DEFAULT_CACHE_DIR};
 pub use exec::{execute, ExecCtx};
 pub use grids::{all_figures, FigureGrid};
 pub use pool::{run_sweep, RunOutcome, ScenarioRun, SweepOptions, SweepReport};
-pub use spec::{PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec, CODE_SALT};
+pub use spec::{ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec, CODE_SALT};

@@ -114,6 +114,144 @@ pub enum ScenarioKind {
         /// Which mechanism is removed.
         ablation: Ablation,
     },
+    /// Stress suite: one variant on the dumbbell with on-off cross
+    /// traffic, under the spec's `impairments` list (the only kind that
+    /// honors it).
+    Stress {
+        /// Protocol under test.
+        variant: Variant,
+    },
+}
+
+/// One channel impairment applied to the stress bottleneck, in spec form.
+///
+/// Mirrors `netsim::impair` configuration but stays a pure-data sweep
+/// type: integer milliseconds instead of durations, so the canonical hash
+/// encoding has no float-formatting ambiguity beyond the probabilities
+/// themselves. Order matters — stages run in list order — and the hash
+/// encoding preserves it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImpairmentSpec {
+    /// Independent per-packet loss.
+    IidLoss {
+        /// Drop probability.
+        p: f64,
+    },
+    /// Gilbert–Elliott burst loss (good state is lossless).
+    BurstLoss {
+        /// Per-packet probability of switching good → bad.
+        p_good_to_bad: f64,
+        /// Per-packet probability of switching bad → good.
+        p_bad_to_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Bounded random extra delay (the reordering generator).
+    Jitter {
+        /// Probability a packet is delayed.
+        prob: f64,
+        /// Maximum extra delay, ms.
+        max_extra_ms: u64,
+    },
+    /// Deterministic displacement of every `every`-th packet by `depth`
+    /// packet slots.
+    Displace {
+        /// Displacement period (1-based packet count).
+        every: u64,
+        /// Displacement depth in packet slots.
+        depth: u32,
+    },
+    /// Independent per-packet duplication.
+    Duplicate {
+        /// Duplication probability.
+        p: f64,
+    },
+    /// Periodic link flapping: down for the last `down_ms` of every
+    /// `period_ms` cycle.
+    Flap {
+        /// Cycle length, ms.
+        period_ms: u64,
+        /// Downtime at the end of each cycle, ms.
+        down_ms: u64,
+    },
+    /// Square-wave bottleneck bandwidth oscillation between the scenario
+    /// default and `low_mbps`.
+    BandwidthOscillation {
+        /// Second-half-cycle bandwidth, Mbps.
+        low_mbps: f64,
+        /// Cycle length, ms.
+        period_ms: u64,
+    },
+    /// Square-wave bottleneck delay oscillation between the scenario
+    /// default and `high_delay_ms`.
+    DelayOscillation {
+        /// Second-half-cycle one-way delay, ms.
+        high_delay_ms: u64,
+        /// Cycle length, ms.
+        period_ms: u64,
+    },
+}
+
+impl ImpairmentSpec {
+    /// Canonical hash encoding: a tag string then every parameter, in
+    /// declaration order.
+    fn hash_into(&self, h: &mut Fnv1a) {
+        match *self {
+            ImpairmentSpec::IidLoss { p } => {
+                h.write_str("iid-loss");
+                h.write_f64(p);
+            }
+            ImpairmentSpec::BurstLoss { p_good_to_bad, p_bad_to_good, loss_bad } => {
+                h.write_str("burst-loss");
+                h.write_f64(p_good_to_bad);
+                h.write_f64(p_bad_to_good);
+                h.write_f64(loss_bad);
+            }
+            ImpairmentSpec::Jitter { prob, max_extra_ms } => {
+                h.write_str("jitter");
+                h.write_f64(prob);
+                h.write_u64(max_extra_ms);
+            }
+            ImpairmentSpec::Displace { every, depth } => {
+                h.write_str("displace");
+                h.write_u64(every);
+                h.write_u64(u64::from(depth));
+            }
+            ImpairmentSpec::Duplicate { p } => {
+                h.write_str("duplicate");
+                h.write_f64(p);
+            }
+            ImpairmentSpec::Flap { period_ms, down_ms } => {
+                h.write_str("flap");
+                h.write_u64(period_ms);
+                h.write_u64(down_ms);
+            }
+            ImpairmentSpec::BandwidthOscillation { low_mbps, period_ms } => {
+                h.write_str("bw-osc");
+                h.write_f64(low_mbps);
+                h.write_u64(period_ms);
+            }
+            ImpairmentSpec::DelayOscillation { high_delay_ms, period_ms } => {
+                h.write_str("delay-osc");
+                h.write_u64(high_delay_ms);
+                h.write_u64(period_ms);
+            }
+        }
+    }
+
+    /// Short tag for labels and profile names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ImpairmentSpec::IidLoss { .. } => "iid-loss",
+            ImpairmentSpec::BurstLoss { .. } => "burst-loss",
+            ImpairmentSpec::Jitter { .. } => "jitter",
+            ImpairmentSpec::Displace { .. } => "displace",
+            ImpairmentSpec::Duplicate { .. } => "duplicate",
+            ImpairmentSpec::Flap { .. } => "flap",
+            ImpairmentSpec::BandwidthOscillation { .. } => "bw-osc",
+            ImpairmentSpec::DelayOscillation { .. } => "delay-osc",
+        }
+    }
 }
 
 /// Measurement plan selector — a closed enum rather than raw durations so
@@ -158,12 +296,23 @@ pub struct ScenarioSpec {
     /// excluded from the hash, and traced runs bypass the cache so the
     /// side effect always happens).
     pub traced: bool,
+    /// Channel impairments applied to the scenario's bottleneck, in
+    /// pipeline order. Empty for every non-stress scenario — and an empty
+    /// list is hash-transparent, so legacy specs keep their cache keys.
+    /// Currently honored only by [`ScenarioKind::Stress`].
+    pub impairments: Vec<ImpairmentSpec>,
 }
 
 impl ScenarioSpec {
-    /// A spec with base seed 0 and tracing off.
+    /// A spec with base seed 0, tracing off and no impairments.
     pub fn new(kind: ScenarioKind, plan: PlanSpec) -> Self {
-        ScenarioSpec { kind, plan, base_seed: 0, traced: false }
+        ScenarioSpec { kind, plan, base_seed: 0, traced: false, impairments: Vec::new() }
+    }
+
+    /// Replaces the impairment list (builder style).
+    pub fn with_impairments(mut self, impairments: Vec<ImpairmentSpec>) -> Self {
+        self.impairments = impairments;
+        self
     }
 
     /// Stable content hash: FNV-1a 64 over the canonical encoding of
@@ -226,6 +375,20 @@ impl ScenarioSpec {
                 h.write_str("ablation");
                 h.write_str(ablation.label());
             }
+            ScenarioKind::Stress { variant } => {
+                h.write_str("stress");
+                h.write_str(variant.label());
+            }
+        }
+        // Impairments are appended only when present, so every legacy spec
+        // (impairments is empty everywhere outside the stress grid) hashes
+        // exactly as before — cache keys and derived sim seeds survive.
+        if !self.impairments.is_empty() {
+            h.write_str("impair");
+            h.write_u64(self.impairments.len() as u64);
+            for imp in &self.impairments {
+                imp.hash_into(&mut h);
+            }
         }
         h.finish()
     }
@@ -265,6 +428,12 @@ impl ScenarioSpec {
                 format!("churn {variant} mean={mean_interval_ms}ms")
             }
             ScenarioKind::Ablation { ablation } => format!("ablation: {}", ablation.label()),
+            ScenarioKind::Stress { variant } => {
+                let profile: Vec<&str> = self.impairments.iter().map(ImpairmentSpec::tag).collect();
+                let profile =
+                    if profile.is_empty() { "baseline".to_owned() } else { profile.join("+") };
+                format!("stress {variant} [{profile}]")
+            }
         }
     }
 }
@@ -391,6 +560,49 @@ mod tests {
         hashes.sort_unstable();
         hashes.dedup();
         assert_eq!(hashes.len(), specs.len());
+    }
+
+    #[test]
+    fn empty_impairments_are_hash_transparent() {
+        // The field was added after the pinned-hash test above; an empty
+        // list must encode to nothing so legacy cache keys survive.
+        let legacy = fairness_spec(8, 1);
+        let explicit = ScenarioSpec { impairments: Vec::new(), ..legacy.clone() };
+        assert_eq!(legacy.content_hash(), explicit.content_hash());
+        assert_eq!(legacy.hash_hex(), "adbc5eaf101c1722");
+    }
+
+    #[test]
+    fn impairments_move_the_hash_and_order_matters() {
+        let base =
+            ScenarioSpec::new(ScenarioKind::Stress { variant: Variant::TcpPr }, PlanSpec::Quick);
+        let a = base.clone().with_impairments(vec![
+            ImpairmentSpec::IidLoss { p: 0.01 },
+            ImpairmentSpec::Duplicate { p: 0.05 },
+        ]);
+        let b = base.clone().with_impairments(vec![
+            ImpairmentSpec::Duplicate { p: 0.05 },
+            ImpairmentSpec::IidLoss { p: 0.01 },
+        ]);
+        assert_ne!(base.content_hash(), a.content_hash(), "impairments are execution-relevant");
+        assert_ne!(a.content_hash(), b.content_hash(), "pipeline order is execution-relevant");
+        let p2 = base.clone().with_impairments(vec![ImpairmentSpec::IidLoss { p: 0.02 }]);
+        let p1 = base.with_impairments(vec![ImpairmentSpec::IidLoss { p: 0.01 }]);
+        assert_ne!(p1.content_hash(), p2.content_hash(), "parameters are execution-relevant");
+    }
+
+    #[test]
+    fn stress_labels_show_variant_and_profile() {
+        let bare =
+            ScenarioSpec::new(ScenarioKind::Stress { variant: Variant::TcpPr }, PlanSpec::Quick);
+        assert!(bare.label().contains("baseline"), "{}", bare.label());
+        let imp = bare.with_impairments(vec![
+            ImpairmentSpec::Jitter { prob: 0.5, max_extra_ms: 50 },
+            ImpairmentSpec::Flap { period_ms: 2000, down_ms: 200 },
+        ]);
+        let label = imp.label();
+        assert!(label.contains("jitter+flap"), "{label}");
+        assert!(label.contains("TCP-PR"), "{label}");
     }
 
     #[test]

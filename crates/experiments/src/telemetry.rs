@@ -117,7 +117,12 @@ mod tests {
             events_processed: 512,
             peak_event_heap: 31,
             dropped_trace_records: 0,
+            impair_drops: 4,
+            impair_dups: 1,
+            impair_reorders: 6,
+            link_flaps: 2,
         };
+        assert!(artifact_json(&[0.0], &work).contains("\"impair_drops\""));
         let rows = vec![1.0_f64, 2.0];
         let json = artifact_json(&rows, &work);
         assert!(json.contains("\"results\""));

@@ -2,7 +2,10 @@
 //! content-addressed spec hashing and the JSON round trip the result cache
 //! depends on.
 
-use experiments::sweep::spec::{PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec};
+use experiments::sweep::spec::{
+    ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec,
+};
+use experiments::variants::Variant;
 use proptest::prelude::*;
 use serde::Value;
 
@@ -68,6 +71,59 @@ proptest! {
         );
         let full = ScenarioSpec { plan: PlanSpec::Full, ..a.clone() };
         prop_assert_ne!(a.content_hash(), full.content_hash());
+    }
+
+    #[test]
+    fn empty_impairment_lists_never_move_the_hash(
+        n in 1usize..128,
+        alpha_milli in 1u64..1000,
+        replicate in 0u64..16,
+    ) {
+        // The impairments field postdates the pinned hash encoding: for
+        // every legacy spec it must be invisible, or adding the feature
+        // would invalidate every cache key and shift every derived seed.
+        let legacy = fairness(n, alpha_milli, 30, replicate);
+        let explicit = ScenarioSpec { impairments: Vec::new(), ..legacy.clone() };
+        prop_assert_eq!(legacy.content_hash(), explicit.content_hash());
+        prop_assert_eq!(legacy.sim_seed(), explicit.sim_seed());
+    }
+
+    #[test]
+    fn impairments_move_the_hash_and_encoding_is_canonical(
+        p_milli in 1u64..500,
+        every in 2u64..64,
+        depth in 1u32..8,
+        period_ms in 100u64..5_000,
+    ) {
+        let p = p_milli as f64 / 1000.0;
+        let base = ScenarioSpec::new(
+            ScenarioKind::Stress { variant: Variant::TcpPr },
+            PlanSpec::Quick,
+        );
+        let imps = vec![
+            ImpairmentSpec::IidLoss { p },
+            ImpairmentSpec::Displace { every, depth },
+            ImpairmentSpec::Flap { period_ms, down_ms: period_ms / 10 + 1 },
+        ];
+        let a = base.clone().with_impairments(imps.clone());
+        prop_assert_ne!(base.content_hash(), a.content_hash());
+
+        // Identical reconstruction hashes identically…
+        let b = base.clone().with_impairments(imps.clone());
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+
+        // …while pipeline order is execution-relevant (stages compose in
+        // list order) and must move the hash.
+        let mut reversed = imps.clone();
+        reversed.reverse();
+        let c = base.clone().with_impairments(reversed);
+        prop_assert_ne!(a.content_hash(), c.content_hash());
+
+        // Parameter changes inside one stage move the hash too.
+        let mut tweaked = imps;
+        tweaked[0] = ImpairmentSpec::IidLoss { p: p + 0.5 };
+        let d = base.with_impairments(tweaked);
+        prop_assert_ne!(a.content_hash(), d.content_hash());
     }
 
     #[test]

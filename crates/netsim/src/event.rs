@@ -43,6 +43,14 @@ pub enum EventKind {
         /// The new path mixture.
         route: Box<crate::routing::MultipathRoute>,
     },
+    /// A scheduled administrative link change takes effect (flapping,
+    /// bandwidth/delay oscillation; see [`crate::impair::schedule`]).
+    LinkAdmin {
+        /// The link the action applies to.
+        link: LinkId,
+        /// What changes.
+        action: crate::impair::LinkAdmin,
+    },
     /// The simulation control loop should pause and return to the caller.
     Breakpoint,
 }

@@ -1,0 +1,207 @@
+//! Sim-time schedule engine for administrative link changes.
+//!
+//! Link flapping and bandwidth/delay oscillation are expressed as plain
+//! lists of [`AdminEntry`] — a sim time plus a [`LinkAdmin`] action — that
+//! the simulator turns into ordinary events. Because the schedules are
+//! data, they hash into scenario specs and replay identically on every
+//! run; no randomness is involved.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An administrative action applied to a link at a scheduled time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkAdmin {
+    /// Take the link down: departing packets are dropped until `Up`.
+    Down,
+    /// Bring the link back up and restart service of its queue.
+    Up,
+    /// Change the serialization rate (bits per second, must be positive).
+    SetBandwidth {
+        /// New rate in bits per second.
+        bps: f64,
+    },
+    /// Change the one-way propagation delay.
+    SetDelay {
+        /// New propagation delay.
+        delay: SimDuration,
+    },
+}
+
+/// One scheduled action; see [`flap_schedule`] and friends for builders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdminEntry {
+    /// Simulation time the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: LinkAdmin,
+}
+
+/// Periodic link flapping: each `period`, the link goes down for the last
+/// `downtime` of the cycle, then comes back up at the cycle boundary. The
+/// first `period − downtime` is up-time, so a schedule always starts with
+/// a working link. Entries stop at `until`.
+///
+/// # Panics
+///
+/// Panics unless `0 < downtime < period`.
+pub fn flap_schedule(
+    period: SimDuration,
+    downtime: SimDuration,
+    until: SimTime,
+) -> Vec<AdminEntry> {
+    assert!(
+        SimDuration::ZERO < downtime && downtime < period,
+        "flap downtime must satisfy 0 < downtime < period"
+    );
+    let mut entries = Vec::new();
+    let mut cycle_start = SimTime::ZERO;
+    loop {
+        let down_at = cycle_start.saturating_add(period - downtime);
+        let up_at = cycle_start.saturating_add(period);
+        if down_at >= until {
+            break;
+        }
+        entries.push(AdminEntry { at: down_at, action: LinkAdmin::Down });
+        if up_at < until {
+            entries.push(AdminEntry { at: up_at, action: LinkAdmin::Up });
+        }
+        cycle_start = up_at;
+    }
+    entries
+}
+
+/// Square-wave bandwidth oscillation: the link starts each cycle at
+/// `base_bps`, switches to `alt_bps` at the half-period, and back at the
+/// cycle boundary. Entries stop at `until`.
+///
+/// # Panics
+///
+/// Panics if either rate is not positive or `period` is zero.
+pub fn bandwidth_oscillation(
+    base_bps: f64,
+    alt_bps: f64,
+    period: SimDuration,
+    until: SimTime,
+) -> Vec<AdminEntry> {
+    assert!(base_bps > 0.0 && alt_bps > 0.0, "oscillation rates must be positive");
+    square_wave(
+        period,
+        until,
+        LinkAdmin::SetBandwidth { bps: alt_bps },
+        LinkAdmin::SetBandwidth { bps: base_bps },
+    )
+}
+
+/// Square-wave delay oscillation: `base_delay` for the first half of each
+/// cycle, `alt_delay` for the second half. Entries stop at `until`.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn delay_oscillation(
+    base_delay: SimDuration,
+    alt_delay: SimDuration,
+    period: SimDuration,
+    until: SimTime,
+) -> Vec<AdminEntry> {
+    square_wave(
+        period,
+        until,
+        LinkAdmin::SetDelay { delay: alt_delay },
+        LinkAdmin::SetDelay { delay: base_delay },
+    )
+}
+
+fn square_wave(
+    period: SimDuration,
+    until: SimTime,
+    at_half: LinkAdmin,
+    at_full: LinkAdmin,
+) -> Vec<AdminEntry> {
+    assert!(period > SimDuration::ZERO, "oscillation period must be positive");
+    let half = SimDuration::from_nanos(period.as_nanos() / 2);
+    let mut entries = Vec::new();
+    let mut cycle_start = SimTime::ZERO;
+    loop {
+        let mid = cycle_start.saturating_add(half);
+        let end = cycle_start.saturating_add(period);
+        if mid >= until {
+            break;
+        }
+        entries.push(AdminEntry { at: mid, action: at_half });
+        if end < until {
+            entries.push(AdminEntry { at: end, action: at_full });
+        }
+        cycle_start = end;
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn flap_alternates_down_up_and_starts_up() {
+        let entries =
+            flap_schedule(SimDuration::from_secs(2), SimDuration::from_millis(500), secs(6));
+        // Cycles: [0,2), [2,4), [4,6) — down at 1.5/3.5/5.5, up at 2/4 (6 == until excluded).
+        let expect = [
+            (1_500, LinkAdmin::Down),
+            (2_000, LinkAdmin::Up),
+            (3_500, LinkAdmin::Down),
+            (4_000, LinkAdmin::Up),
+            (5_500, LinkAdmin::Down),
+        ];
+        assert_eq!(entries.len(), expect.len());
+        for (e, (ms, action)) in entries.iter().zip(expect) {
+            assert_eq!(e.at, SimTime::ZERO + SimDuration::from_millis(ms));
+            assert_eq!(e.action, action);
+        }
+    }
+
+    #[test]
+    fn oscillation_alternates_alt_then_base() {
+        let entries = bandwidth_oscillation(10e6, 2e6, SimDuration::from_secs(2), secs(4));
+        let expect = [
+            (1_000, LinkAdmin::SetBandwidth { bps: 2e6 }),
+            (2_000, LinkAdmin::SetBandwidth { bps: 10e6 }),
+            (3_000, LinkAdmin::SetBandwidth { bps: 2e6 }),
+        ];
+        assert_eq!(entries.len(), expect.len());
+        for (e, (ms, action)) in entries.iter().zip(expect) {
+            assert_eq!(e.at, SimTime::ZERO + SimDuration::from_millis(ms));
+            assert_eq!(e.action, action);
+        }
+    }
+
+    #[test]
+    fn delay_oscillation_times_match_bandwidth_shape() {
+        let d = delay_oscillation(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(80),
+            SimDuration::from_secs(1),
+            secs(2),
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].action, LinkAdmin::SetDelay { delay: SimDuration::from_millis(80) });
+        assert_eq!(d[1].action, LinkAdmin::SetDelay { delay: SimDuration::from_millis(10) });
+    }
+
+    #[test]
+    fn schedules_are_time_sorted() {
+        let entries =
+            flap_schedule(SimDuration::from_millis(700), SimDuration::from_millis(100), secs(10));
+        assert!(entries.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    #[should_panic(expected = "downtime")]
+    fn downtime_must_fit_in_period() {
+        let _ = flap_schedule(SimDuration::from_secs(1), SimDuration::from_secs(1), secs(5));
+    }
+}

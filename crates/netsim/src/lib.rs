@@ -36,6 +36,7 @@
 pub mod agent;
 pub mod event;
 pub mod ids;
+pub mod impair;
 pub mod link;
 pub mod packet;
 pub mod queue;
@@ -48,6 +49,7 @@ pub mod traffic;
 
 pub use agent::{Agent, AgentCtx};
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
+pub use impair::{AdminEntry, ImpairStats, LinkAdmin, StageConfig};
 pub use link::LinkConfig;
 pub use packet::{AckHeader, DataHeader, Packet, PacketKind, ACK_PACKET_BYTES, DATA_PACKET_BYTES};
 pub use sim::{SimBuilder, SimStats, Simulator};

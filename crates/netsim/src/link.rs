@@ -6,6 +6,7 @@
 //! while the transmitter is busy wait in the link's output queue.
 
 use crate::ids::NodeId;
+use crate::impair::{ImpairPipeline, ImpairStats, StageConfig};
 use crate::queue::{LinkQueue, QueuePolicy};
 use crate::time::SimDuration;
 
@@ -30,6 +31,9 @@ pub struct LinkConfig {
     pub jitter: Option<LinkJitter>,
     /// Two-class DiffServ queueing; `None` (default) is a single FIFO.
     pub diffserv: Option<DiffservConfig>,
+    /// Ordered impairment stages run on each departing packet; empty
+    /// (default) disables the pipeline. See [`crate::impair`].
+    pub impair: Vec<StageConfig>,
 }
 
 /// Random extra-delay configuration; see [`LinkConfig::jitter`].
@@ -88,6 +92,7 @@ impl LinkConfig {
             random_loss: 0.0,
             jitter: None,
             diffserv: None,
+            impair: Vec::new(),
         }
     }
 
@@ -120,6 +125,13 @@ impl LinkConfig {
         self
     }
 
+    /// Installs an impairment pipeline (builder style). Stage
+    /// probabilities are validated when the simulator builds the link.
+    pub fn with_impairments(mut self, stages: &[StageConfig]) -> Self {
+        self.impair = stages.to_vec();
+        self
+    }
+
     /// Time to serialize `size_bytes` onto the wire at this link's rate.
     pub fn transmission_time(&self, size_bytes: u32) -> SimDuration {
         SimDuration::from_secs_f64(size_bytes as f64 * 8.0 / self.bandwidth_bps)
@@ -147,10 +159,19 @@ pub struct Link {
     pub transmitted: u64,
     /// Packets dropped by the random-loss process (not queue drops).
     pub random_losses: u64,
+    /// False while the link is administratively down (see
+    /// [`crate::impair::LinkAdmin`]).
+    pub up: bool,
+    /// Impairment pipeline, when the config declares stages.
+    pub impair: Option<ImpairPipeline>,
+    /// Counters accumulated by impairments and admin actions.
+    pub impair_stats: ImpairStats,
 }
 
 impl Link {
-    /// Creates an idle link between `from` and `to`.
+    /// Creates an idle link between `from` and `to`. Any impairment
+    /// stages in the config are instantiated later by the simulator,
+    /// which owns the seed (see `Simulator::set_link_impairments`).
     pub fn new(from: NodeId, to: NodeId, config: LinkConfig) -> Self {
         let queue = LinkQueue::new(config.queue_packets, config.policy.clone());
         let queue_high =
@@ -165,6 +186,9 @@ impl Link {
             busy: false,
             transmitted: 0,
             random_losses: 0,
+            up: true,
+            impair: None,
+            impair_stats: ImpairStats::default(),
         }
     }
 
@@ -221,6 +245,16 @@ mod tests {
         let j = cfg.jitter.unwrap();
         assert_eq!(j.prob, 0.5);
         assert_eq!(j.max_extra, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn impairment_builder_records_stages_and_link_starts_up() {
+        let stages = [StageConfig::IidLoss { p: 0.01 }];
+        let cfg = LinkConfig::mbps_ms(1.0, 1, 10).with_impairments(&stages);
+        assert_eq!(cfg.impair, stages.to_vec());
+        let link = Link::new(NodeId::from_raw(0), NodeId::from_raw(1), cfg);
+        assert!(link.up, "links start administratively up");
+        assert!(link.impair.is_none(), "pipeline is installed by the simulator");
     }
 
     #[test]

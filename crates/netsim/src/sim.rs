@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 use crate::agent::{Agent, AgentAction, AgentCtx};
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{AgentId, FlowId, LinkId, NodeId};
+use crate::impair::{AdminEntry, Fate, ImpairPipeline, ImpairStats, LinkAdmin, StageConfig};
 use crate::link::{Link, LinkConfig};
 use crate::packet::{Packet, PacketKind};
 use crate::queue::EnqueueOutcome;
@@ -30,6 +31,12 @@ pub struct SimStats {
     pub injected: u64,
     /// Events dispatched.
     pub events: u64,
+    /// Packets dropped by impairment stages or administratively-down links.
+    pub impair_drops: u64,
+    /// Extra packet copies created by duplication impairments.
+    pub impair_dups: u64,
+    /// Administrative link-down transitions executed.
+    pub link_flaps: u64,
 }
 
 /// Builds the static topology for a [`Simulator`].
@@ -97,7 +104,7 @@ impl SimBuilder {
             .collect();
         let graph = Graph::new(self.node_count, &edges);
         let routing = Routing::shortest_path(&graph);
-        Simulator {
+        let mut sim = Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
             node_agents: vec![HashMap::new(); self.node_count],
@@ -107,11 +114,21 @@ impl SimBuilder {
             graph,
             routing,
             rng: SmallRng::seed_from_u64(self.seed),
+            seed: self.seed,
             next_uid: 0,
             stats: SimStats::default(),
             started: false,
             tracer: None,
+        };
+        // Instantiate impairment pipelines declared on link configs, each
+        // with its own seed stream derived from the simulation seed.
+        for i in 0..sim.links.len() {
+            if !sim.links[i].config.impair.is_empty() {
+                let stages = sim.links[i].config.impair.clone();
+                sim.set_link_impairments(LinkId::from_raw(i as u32), &stages);
+            }
         }
+        sim
     }
 }
 
@@ -134,6 +151,8 @@ pub struct Simulator {
     graph: Graph,
     routing: Routing,
     rng: SmallRng,
+    /// The builder seed; impairment pipelines derive their streams from it.
+    seed: u64,
     next_uid: u64,
     stats: SimStats,
     started: bool,
@@ -310,6 +329,51 @@ impl Simulator {
         });
     }
 
+    /// Installs (or replaces) the impairment pipeline on `id`. The
+    /// pipeline's RNG stream is derived from the simulation seed and the
+    /// link index (see [`crate::impair::derive_seed`]), so it is
+    /// independent of every other random decision in the run. An empty
+    /// `stages` slice removes the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or a stage config is invalid.
+    pub fn set_link_impairments(&mut self, id: LinkId, stages: &[StageConfig]) {
+        let seed = crate::impair::derive_seed(self.seed, id.index() as u32);
+        let link = &mut self.links[id.index()];
+        link.config.impair = stages.to_vec();
+        link.impair =
+            if stages.is_empty() { None } else { Some(ImpairPipeline::new(stages, seed)) };
+    }
+
+    /// Schedules one administrative link action (up/down, bandwidth or
+    /// delay change) at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn schedule_link_admin(&mut self, at: SimTime, link: LinkId, action: LinkAdmin) {
+        assert!(link.index() < self.links.len(), "unknown link {link}");
+        self.events.schedule(at, EventKind::LinkAdmin { link, action });
+    }
+
+    /// Schedules a whole admin timeline on `link` — typically built with
+    /// [`crate::impair::flap_schedule`] or the oscillation generators.
+    pub fn apply_admin_schedule(&mut self, link: LinkId, entries: &[AdminEntry]) {
+        for e in entries {
+            self.schedule_link_admin(e.at, link, e.action);
+        }
+    }
+
+    /// Impairment counters aggregated across every link.
+    pub fn impair_totals(&self) -> ImpairStats {
+        let mut total = ImpairStats::default();
+        for l in &self.links {
+            total.merge(&l.impair_stats);
+        }
+        total
+    }
+
     /// Read access to a link (e.g. for per-link drop counts).
     ///
     /// # Panics
@@ -425,6 +489,9 @@ impl Simulator {
             EventKind::InstallRoute { src, dst, route } => {
                 self.routing.set_multipath(src, dst, *route);
             }
+            EventKind::LinkAdmin { link, action } => {
+                self.link_admin(link, action);
+            }
             EventKind::Breakpoint => {}
         }
     }
@@ -464,7 +531,44 @@ impl Simulator {
         }
     }
 
+    /// Applies one administrative action to a link. Down links drop
+    /// arriving packets but keep their queue; the in-flight packet (if
+    /// any) completes its serialization. `Up` restarts service.
+    fn link_admin(&mut self, id: LinkId, action: LinkAdmin) {
+        let link = &mut self.links[id.index()];
+        match action {
+            LinkAdmin::Down => {
+                if link.up {
+                    link.up = false;
+                    link.impair_stats.flaps += 1;
+                    self.stats.link_flaps += 1;
+                }
+            }
+            LinkAdmin::Up => {
+                if !link.up {
+                    link.up = true;
+                    if !link.busy && link.queued() > 0 {
+                        self.link_try_transmit(id);
+                    }
+                }
+            }
+            LinkAdmin::SetBandwidth { bps } => {
+                assert!(bps > 0.0, "bandwidth must be positive");
+                link.config.bandwidth_bps = bps;
+            }
+            LinkAdmin::SetDelay { delay } => {
+                link.config.delay = delay;
+            }
+        }
+    }
+
     fn enqueue_on_link(&mut self, id: LinkId, packet: Packet) {
+        if !self.links[id.index()].up {
+            self.links[id.index()].impair_stats.down_drops += 1;
+            self.stats.impair_drops += 1;
+            self.trace_packet(&packet, TraceEventKind::ImpairDrop(id));
+            return;
+        }
         let loss = self.links[id.index()].config.random_loss;
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             self.links[id.index()].random_losses += 1;
@@ -511,6 +615,9 @@ impl Simulator {
     fn link_try_transmit(&mut self, id: LinkId) {
         let link = &mut self.links[id.index()];
         debug_assert!(!link.busy);
+        if !link.up {
+            return;
+        }
         let Some(packet) = link.dequeue_next() else { return };
         if self.tracer.is_some() {
             let p = packet.clone();
@@ -518,19 +625,46 @@ impl Simulator {
         }
         let link = &mut self.links[id.index()];
         let tx = link.config.transmission_time(packet.size_bytes);
-        let mut arrival = self.now + tx + link.config.delay;
-        link.busy = true;
-        link.transmitted += 1;
+        let delay = link.config.delay;
         let to = link.to;
         let jitter = link.config.jitter;
-        if let Some(j) = jitter {
-            if j.prob > 0.0 && self.rng.gen::<f64>() < j.prob {
-                let extra = j.max_extra * self.rng.gen::<f64>();
-                arrival += extra;
+        link.busy = true;
+        link.transmitted += 1;
+        // The impairment pipeline sits between the queue and propagation:
+        // the packet has paid its serialization time either way, so an
+        // impairment drop is wire loss, not a shorter busy period.
+        let Link { impair, impair_stats, .. } = link;
+        let fate = match impair.as_mut() {
+            Some(pipe) => pipe.process(tx, impair_stats),
+            None => Fate::Deliver { extra_delay: SimDuration::ZERO, duplicate: false },
+        };
+        self.events.schedule(self.now + tx, EventKind::LinkReady { link: id });
+        match fate {
+            Fate::Dropped => {
+                self.stats.impair_drops += 1;
+                self.trace_packet(&packet, TraceEventKind::ImpairDrop(id));
+            }
+            Fate::Deliver { extra_delay, duplicate } => {
+                let mut arrival = self.now + tx + delay + extra_delay;
+                if let Some(j) = jitter {
+                    if j.prob > 0.0 && self.rng.gen::<f64>() < j.prob {
+                        let extra = j.max_extra * self.rng.gen::<f64>();
+                        arrival += extra;
+                    }
+                }
+                if duplicate {
+                    self.stats.impair_dups += 1;
+                    self.trace_packet(&packet, TraceEventKind::Duplicated(id));
+                    let copy = packet.clone();
+                    self.events.schedule(arrival, EventKind::Arrive { node: to, packet });
+                    // The copy trails the original by one transmission time.
+                    self.events
+                        .schedule(arrival + tx, EventKind::Arrive { node: to, packet: copy });
+                } else {
+                    self.events.schedule(arrival, EventKind::Arrive { node: to, packet });
+                }
             }
         }
-        self.events.schedule(self.now + tx, EventKind::LinkReady { link: id });
-        self.events.schedule(arrival, EventKind::Arrive { node: to, packet });
     }
 
     fn call_agent(&mut self, id: AgentId, call: AgentCall) {
@@ -615,6 +749,7 @@ impl Drop for Simulator {
             self.stats.events,
             self.events.peak_len(),
             self.dropped_trace_records(),
+            &self.impair_totals(),
         );
     }
 }

@@ -117,6 +117,23 @@ impl Sampler {
         )
     }
 
+    /// Registers a probe of `link`'s cumulative impairment-drop count
+    /// (loss stages plus down-link drops; see [`crate::impair`]).
+    pub fn add_link_impair_drops(&mut self, link: LinkId) -> &mut Self {
+        self.add_probe(
+            format!("impair_drops:{link}"),
+            Box::new(move |sim| sim.link(link).impair_stats.drops() as f64),
+        )
+    }
+
+    /// Registers a probe of `link`'s cumulative administrative-down count.
+    pub fn add_link_flaps(&mut self, link: LinkId) -> &mut Self {
+        self.add_probe(
+            format!("flaps:{link}"),
+            Box::new(move |sim| sim.link(link).impair_stats.flaps as f64),
+        )
+    }
+
     /// Evaluates every probe once at the simulator's current time.
     pub fn sample_now(&mut self, sim: &Simulator) {
         let now = sim.now();
@@ -165,6 +182,16 @@ pub struct SessionStats {
     pub peak_event_heap: u64,
     /// Trace records lost to buffer caps, summed.
     pub dropped_trace_records: u64,
+    /// Packets dropped by impairment stages or down links, summed
+    /// (see [`crate::impair`]).
+    pub impair_drops: u64,
+    /// Extra packet copies created by duplication impairments, summed.
+    pub impair_dups: u64,
+    /// Packets whose delivery order was perturbed by jitter or
+    /// displacement impairments, summed.
+    pub impair_reorders: u64,
+    /// Administrative link-down transitions executed, summed.
+    pub link_flaps: u64,
 }
 
 impl SessionStats {
@@ -176,6 +203,10 @@ impl SessionStats {
         self.events_processed += other.events_processed;
         self.peak_event_heap = self.peak_event_heap.max(other.peak_event_heap);
         self.dropped_trace_records += other.dropped_trace_records;
+        self.impair_drops += other.impair_drops;
+        self.impair_dups += other.impair_dups;
+        self.impair_reorders += other.impair_reorders;
+        self.link_flaps += other.link_flaps;
     }
 }
 
@@ -192,6 +223,10 @@ pub mod session {
             events_processed: 0,
             peak_event_heap: 0,
             dropped_trace_records: 0,
+            impair_drops: 0,
+            impair_dups: 0,
+            impair_reorders: 0,
+            link_flaps: 0,
         }) };
     }
 
@@ -217,13 +252,22 @@ pub mod session {
     /// Folds one simulator's final accounting into the accumulator.
     /// Called from `Simulator`'s `Drop`; also callable directly to account
     /// for a simulator that will live past the measurement boundary.
-    pub fn absorb(events: u64, peak_heap: usize, dropped_trace_records: u64) {
+    pub fn absorb(
+        events: u64,
+        peak_heap: usize,
+        dropped_trace_records: u64,
+        impair: &crate::impair::ImpairStats,
+    ) {
         SESSION.with(|s| {
             let mut s = s.borrow_mut();
             s.sims += 1;
             s.events_processed += events;
             s.peak_event_heap = s.peak_event_heap.max(peak_heap as u64);
             s.dropped_trace_records += dropped_trace_records;
+            s.impair_drops += impair.drops();
+            s.impair_dups += impair.duplicates;
+            s.impair_reorders += impair.reorder_displacements();
+            s.link_flaps += impair.flaps;
         });
     }
 }
@@ -405,24 +449,57 @@ mod tests {
     }
 
     #[test]
+    fn session_absorbs_impairment_counters() {
+        session::reset();
+        {
+            let mut b = SimBuilder::new(5);
+            let a = b.add_node();
+            let c = b.add_node();
+            let cfg = LinkConfig::mbps_ms(0.5, 5, 200)
+                .with_impairments(&[crate::impair::StageConfig::IidLoss { p: 1.0 }]);
+            b.add_link(a, c, cfg);
+            b.add_link(c, a, LinkConfig::mbps_ms(0.5, 5, 200));
+            let mut sim = b.build();
+            sim.add_agent(a, FlowId::from_raw(0), Box::new(Blaster { dst: c, count: 10 }));
+            sim.run_until(SimTime::from_secs_f64(2.0));
+        } // drop absorbs
+        let s = session::take();
+        assert_eq!(s.impair_drops, 10, "every packet dropped by the p=1 stage");
+        assert_eq!(s.impair_dups, 0);
+        assert_eq!(s.link_flaps, 0);
+    }
+
+    #[test]
     fn session_stats_merge_adds_counters_and_maxes_peak() {
         let mut a = SessionStats {
             sims: 1,
             events_processed: 100,
             peak_event_heap: 40,
             dropped_trace_records: 2,
+            impair_drops: 5,
+            impair_dups: 1,
+            impair_reorders: 3,
+            link_flaps: 2,
         };
         let b = SessionStats {
             sims: 2,
             events_processed: 50,
             peak_event_heap: 90,
             dropped_trace_records: 0,
+            impair_drops: 7,
+            impair_dups: 0,
+            impair_reorders: 4,
+            link_flaps: 1,
         };
         a.merge(&b);
         assert_eq!(a.sims, 3);
         assert_eq!(a.events_processed, 150);
         assert_eq!(a.peak_event_heap, 90, "peak is a max, not a sum");
         assert_eq!(a.dropped_trace_records, 2);
+        assert_eq!(a.impair_drops, 12);
+        assert_eq!(a.impair_dups, 1);
+        assert_eq!(a.impair_reorders, 7);
+        assert_eq!(a.link_flaps, 3, "impairment counters add like the others");
     }
 
     #[test]
@@ -432,6 +509,7 @@ mod tests {
             events_processed: 1_000,
             peak_event_heap: 42,
             dropped_trace_records: 7,
+            ..SessionStats::default()
         };
         let h = RunHealth::from_session(stats, 0.5);
         assert_eq!(h.events_per_sec, 2_000.0);

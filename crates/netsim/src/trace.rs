@@ -44,6 +44,10 @@ pub enum TraceEventKind {
     RandomLoss(LinkId),
     /// The packet started serialization onto a link.
     LinkTx(LinkId),
+    /// The packet was dropped by an impairment stage or a down link.
+    ImpairDrop(LinkId),
+    /// An impairment stage scheduled an extra copy of the packet.
+    Duplicated(LinkId),
     /// The packet was delivered to an agent at a node.
     Delivered(NodeId),
     /// No route existed for the packet.
@@ -59,6 +63,8 @@ impl TraceEventKind {
             TraceEventKind::QueueDrop(_) => "queue_drop",
             TraceEventKind::RandomLoss(_) => "random_loss",
             TraceEventKind::LinkTx(_) => "link_tx",
+            TraceEventKind::ImpairDrop(_) => "impair_drop",
+            TraceEventKind::Duplicated(_) => "duplicated",
             TraceEventKind::Delivered(_) => "delivered",
             TraceEventKind::NoRoute => "no_route",
         }
@@ -71,7 +77,9 @@ impl TraceEventKind {
             TraceEventKind::Enqueued(l)
             | TraceEventKind::QueueDrop(l)
             | TraceEventKind::RandomLoss(l)
-            | TraceEventKind::LinkTx(l) => l.to_string(),
+            | TraceEventKind::LinkTx(l)
+            | TraceEventKind::ImpairDrop(l)
+            | TraceEventKind::Duplicated(l) => l.to_string(),
             TraceEventKind::Delivered(n) => n.to_string(),
             TraceEventKind::Injected | TraceEventKind::NoRoute => "-".to_owned(),
         }
@@ -179,12 +187,15 @@ pub fn jsonl_line(r: &TraceRecord) -> String {
 /// `r` receive, `d` drop.
 pub fn ns2_line(r: &TraceRecord) -> String {
     let op = match r.kind {
-        TraceEventKind::Injected | TraceEventKind::Enqueued(_) => '+',
+        TraceEventKind::Injected | TraceEventKind::Enqueued(_) | TraceEventKind::Duplicated(_) => {
+            '+'
+        }
         TraceEventKind::LinkTx(_) => '-',
         TraceEventKind::Delivered(_) => 'r',
-        TraceEventKind::QueueDrop(_) | TraceEventKind::RandomLoss(_) | TraceEventKind::NoRoute => {
-            'd'
-        }
+        TraceEventKind::QueueDrop(_)
+        | TraceEventKind::RandomLoss(_)
+        | TraceEventKind::ImpairDrop(_)
+        | TraceEventKind::NoRoute => 'd',
     };
     let seq = match r.seq {
         Some(s) => s.to_string(),
@@ -646,6 +657,12 @@ mod tests {
         assert!(rx.starts_with("r "), "{rx}");
         let drop = ns2_line(&rec(1, 0, TraceEventKind::QueueDrop(LinkId::from_raw(0))));
         assert!(drop.starts_with("d "), "{drop}");
+        let impair = ns2_line(&rec(1, 0, TraceEventKind::ImpairDrop(LinkId::from_raw(0))));
+        assert!(impair.starts_with("d "), "{impair}");
+        assert!(impair.contains("impair_drop"), "{impair}");
+        let dup = ns2_line(&rec(1, 0, TraceEventKind::Duplicated(LinkId::from_raw(0))));
+        assert!(dup.starts_with("+ "), "{dup}");
+        assert!(dup.contains("l0"), "duplication is located at its link: {dup}");
     }
 
     #[test]
