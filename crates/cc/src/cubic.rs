@@ -1,0 +1,558 @@
+//! CUBIC congestion control (RFC 8312).
+//!
+//! CUBIC replaces Reno's linear congestion avoidance with a cubic function
+//! of the *time since the last congestion event*, anchored at the window
+//! where the loss happened (`W_max`): concave recovery toward `W_max`, a
+//! plateau around it, then convex probing beyond. Two refinements from the
+//! RFC are included:
+//!
+//! - **Fast convergence** (§4.6): when a flow's `W_max` shrinks twice in a
+//!   row, it releases extra bandwidth (`W_max ← cwnd·(1+β)/2`) so a newly
+//!   arriving flow converges faster.
+//! - **TCP-friendly region** (§4.2): the window never falls below
+//!   [`w_est`], the window an AIMD flow with the same β would have grown to
+//!   — so CUBIC is never slower than Reno on short-RTT paths.
+//!
+//! The growth laws live in the free functions [`w_cubic`], [`w_est`] and
+//! [`k_from_w_max`] so they can be property-tested in isolation; the sender
+//! calls exactly those functions. Loss *recovery* (fast retransmit on three
+//! duplicate ACKs, NewReno partial-ACK hole plugging, go-back-N after a
+//! timeout) deliberately mirrors `baselines::reno`, so figure differences
+//! against the 2003 baselines isolate the growth law.
+
+use std::collections::HashSet;
+
+use netsim::time::{SimDuration, SimTime};
+use transport::rto::RtoEstimator;
+use transport::sender::{AckEvent, SenderOutput, TcpSenderAlgo};
+
+/// `W_cubic(t) = C·(t − K)³ + W_max` (RFC 8312 §4.1), windows in segments,
+/// `t` in seconds since the epoch started.
+pub fn w_cubic(t_secs: f64, w_max: f64, k: f64, c: f64) -> f64 {
+    c * (t_secs - k).powi(3) + w_max
+}
+
+/// `K = ∛(W_max·(1 − β)/C)` (RFC 8312 §4.1): the time at which the cubic
+/// curve returns to `W_max` after a β reduction.
+pub fn k_from_w_max(w_max: f64, beta: f64, c: f64) -> f64 {
+    (w_max * (1.0 - beta) / c).cbrt()
+}
+
+/// `W_est(t) = W_max·β + 3·(1 − β)/(1 + β) · t/RTT` (RFC 8312 §4.2): the
+/// window an AIMD flow with multiplicative factor β would reach `t` seconds
+/// into the epoch. CUBIC's TCP-friendly region pins `cwnd ≥ W_est`.
+pub fn w_est(t_secs: f64, rtt_secs: f64, w_max: f64, beta: f64) -> f64 {
+    w_max * beta + 3.0 * (1.0 - beta) / (1.0 + beta) * (t_secs / rtt_secs)
+}
+
+/// Configuration for [`CubicSender`].
+#[derive(Debug, Clone)]
+pub struct CubicConfig {
+    /// Cubic scaling constant `C` (RFC 8312 recommends 0.4).
+    pub c: f64,
+    /// Multiplicative decrease factor β (RFC 8312 recommends 0.7).
+    pub beta: f64,
+    /// Fast convergence (§4.6).
+    pub fast_convergence: bool,
+    /// Duplicate-ACK threshold for fast retransmit.
+    pub dupthresh: u32,
+    /// Upper bound on the congestion window, in segments.
+    pub max_cwnd: f64,
+    /// Initial slow-start threshold, in segments (bounds the initial
+    /// exponential overshoot, as in the baselines).
+    pub initial_ssthresh: f64,
+    /// Retransmission-timeout estimator.
+    pub rto: RtoEstimator,
+}
+
+impl Default for CubicConfig {
+    fn default() -> Self {
+        CubicConfig {
+            c: 0.4,
+            beta: 0.7,
+            fast_convergence: true,
+            dupthresh: 3,
+            max_cwnd: 10_000.0,
+            initial_ssthresh: 128.0,
+            rto: RtoEstimator::rfc2988(),
+        }
+    }
+}
+
+/// Loss-recovery state (same episode structure as the Reno family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Open,
+    /// Fast recovery; the episode ends when `recover` is cumulatively acked.
+    Recovery {
+        recover: u64,
+    },
+}
+
+/// Event counters for [`CubicSender`].
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct CubicStats {
+    /// Fast-retransmit events.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Duplicate ACKs observed.
+    pub dupacks: u64,
+    /// Partial ACKs handled inside fast recovery.
+    pub partial_acks: u64,
+    /// Segments acknowledged.
+    pub acked_segments: u64,
+    /// ACKs whose growth came from the TCP-friendly region (§4.2).
+    pub tcp_friendly_acks: u64,
+    /// Fast-convergence `W_max` reductions taken (§4.6).
+    pub fast_convergence_events: u64,
+}
+
+/// A CUBIC sender (RFC 8312) over NewReno-style loss recovery.
+///
+/// # Examples
+///
+/// ```
+/// use cc::cubic::{CubicConfig, CubicSender};
+/// use transport::sender::{SenderOutput, TcpSenderAlgo};
+/// use netsim::time::SimTime;
+///
+/// let mut s = CubicSender::new(CubicConfig::default());
+/// let mut out = SenderOutput::new();
+/// s.on_start(SimTime::ZERO, &mut out);
+/// assert_eq!(out.transmissions().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CubicSender {
+    cfg: CubicConfig,
+    cwnd: f64,
+    ssthresh: f64,
+    snd_una: u64,
+    snd_nxt: u64,
+    dupacks: u32,
+    state: State,
+    rto: RtoEstimator,
+    fr_allowed_from: u64,
+    highest_sent: u64,
+    retransmitted: HashSet<u64>,
+    stats: CubicStats,
+    /// Window at the last congestion event (the cubic anchor).
+    w_max: f64,
+    /// Time `W_cubic` re-reaches `W_max` this epoch.
+    k: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+}
+
+impl CubicSender {
+    /// Creates a sender in slow start with `cwnd = 1`.
+    pub fn new(cfg: CubicConfig) -> Self {
+        let rto = cfg.rto.clone();
+        let ssthresh = cfg.initial_ssthresh;
+        CubicSender {
+            cfg,
+            cwnd: 1.0,
+            ssthresh,
+            snd_una: 0,
+            snd_nxt: 0,
+            dupacks: 0,
+            state: State::Open,
+            rto,
+            fr_allowed_from: 0,
+            highest_sent: 0,
+            retransmitted: HashSet::new(),
+            stats: CubicStats::default(),
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start: None,
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> CubicStats {
+        self.stats
+    }
+
+    /// The current cubic anchor `W_max`, in segments.
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
+    /// Smoothed RTT estimate, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn send_new_data(&mut self, out: &mut SenderOutput) {
+        let window = self.cwnd.min(self.cfg.max_cwnd);
+        while (self.flight() as f64) < window {
+            let is_rtx = self.snd_nxt < self.highest_sent;
+            if is_rtx {
+                self.retransmitted.insert(self.snd_nxt);
+            }
+            out.transmit(self.snd_nxt, is_rtx);
+            self.snd_nxt += 1;
+            self.highest_sent = self.highest_sent.max(self.snd_nxt);
+        }
+    }
+
+    fn retransmit(&mut self, seq: u64, out: &mut SenderOutput) {
+        out.transmit(seq, true);
+        self.retransmitted.insert(seq);
+    }
+
+    fn arm_rto(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if self.flight() > 0 {
+            out.set_timer(now + self.rto.rto());
+        } else {
+            out.cancel_timer();
+        }
+    }
+
+    /// One congestion event: update `W_max` (with fast convergence), shrink
+    /// by β, and end the cubic epoch.
+    fn reduce(&mut self) {
+        if self.cfg.fast_convergence && self.cwnd < self.w_max {
+            self.stats.fast_convergence_events += 1;
+            self.w_max = self.cwnd * (1.0 + self.cfg.beta) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.ssthresh = (self.cwnd * self.cfg.beta).max(2.0);
+        self.epoch_start = None;
+    }
+
+    /// Congestion-avoidance growth for `newly` acked segments (§4.1–4.3).
+    fn cubic_growth(&mut self, now: SimTime, newly: u64) {
+        let rtt = self
+            .rto
+            .srtt()
+            .unwrap_or_else(|| SimDuration::from_millis(100))
+            .as_secs_f64()
+            .max(1e-6);
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(now);
+            if self.w_max < self.cwnd {
+                // Congestion-free slow-start exit: anchor at the current
+                // window, already past the plateau (K = 0).
+                self.w_max = self.cwnd;
+                self.k = 0.0;
+            } else {
+                self.k = k_from_w_max(self.w_max, self.cfg.beta, self.cfg.c);
+            }
+        }
+        let t = now.saturating_since(self.epoch_start.expect("epoch set above")).as_secs_f64();
+        // Target the cubic curve one RTT ahead, as the RFC prescribes.
+        let target = w_cubic(t + rtt, self.w_max, self.k, self.cfg.c);
+        let friendly = w_est(t, rtt, self.w_max, self.cfg.beta);
+        if target < friendly {
+            // TCP-friendly region: never slower than the AIMD response.
+            self.stats.tcp_friendly_acks += 1;
+            self.cwnd = self.cwnd.max(friendly);
+        } else if target > self.cwnd {
+            self.cwnd += (target - self.cwnd) / self.cwnd * newly as f64;
+        }
+        // Around the plateau (target ≤ cwnd ≤ friendly-free zone) the
+        // window holds still, which is exactly CUBIC's stability region.
+        self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
+    }
+
+    fn grow(&mut self, now: SimTime, newly: u64) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + newly as f64).min(self.cfg.max_cwnd);
+        } else {
+            self.cubic_growth(now, newly);
+        }
+    }
+
+    fn enter_fast_retransmit(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.stats.fast_retransmits += 1;
+        self.reduce();
+        self.cwnd = self.ssthresh;
+        self.state = State::Recovery { recover: self.snd_nxt };
+        let una = self.snd_una;
+        self.retransmit(una, out);
+        self.arm_rto(now, out);
+    }
+
+    fn handle_new_ack(&mut self, ack: &AckEvent, now: SimTime, out: &mut SenderOutput) {
+        let newly = ack.cum_ack - self.snd_una;
+        self.stats.acked_segments += newly;
+        self.snd_una = ack.cum_ack;
+        self.snd_nxt = self.snd_nxt.max(ack.cum_ack);
+        self.dupacks = 0;
+        self.retransmitted.retain(|&s| s >= ack.cum_ack);
+        if ack.echo_tx_count == 1 {
+            self.rto.on_sample(now.saturating_since(ack.echo_timestamp));
+        }
+        match self.state {
+            State::Recovery { recover } if ack.cum_ack >= recover => {
+                self.cwnd = self.ssthresh;
+                self.state = State::Open;
+            }
+            State::Recovery { .. } => {
+                // Partial ACK: plug the next hole; hold the window.
+                self.stats.partial_acks += 1;
+                let una = self.snd_una;
+                self.retransmit(una, out);
+            }
+            State::Open => self.grow(now, newly),
+        }
+        self.send_new_data(out);
+        self.arm_rto(now, out);
+    }
+
+    fn handle_dupack(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if self.flight() == 0 {
+            return;
+        }
+        self.dupacks += 1;
+        self.stats.dupacks += 1;
+        match self.state {
+            State::Open => {
+                if self.dupacks >= self.cfg.dupthresh && self.snd_una >= self.fr_allowed_from {
+                    self.enter_fast_retransmit(now, out);
+                }
+            }
+            State::Recovery { .. } => {
+                // Dupack-clocked inflation keeps the pipe full in recovery,
+                // as in the Reno machinery.
+                self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_cwnd + self.cfg.dupthresh as f64);
+                self.send_new_data(out);
+            }
+        }
+    }
+}
+
+impl transport::telemetry::SenderTelemetry for CubicSender {
+    fn common_stats(&self) -> transport::telemetry::CommonStats {
+        transport::telemetry::CommonStats {
+            algorithm: self.name().to_owned(),
+            acked_segments: self.stats.acked_segments,
+            fast_retransmits: self.stats.fast_retransmits,
+            timeouts: self.stats.timeouts,
+            dupacks: self.stats.dupacks,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            srtt: self.srtt(),
+            rto: Some(self.rto.rto()),
+            extra: vec![
+                ("partial_acks".to_owned(), self.stats.partial_acks),
+                ("tcp_friendly_acks".to_owned(), self.stats.tcp_friendly_acks),
+                ("fast_convergence_events".to_owned(), self.stats.fast_convergence_events),
+                ("w_max_segments".to_owned(), self.w_max.round() as u64),
+            ],
+            ..Default::default()
+        }
+    }
+}
+
+impl TcpSenderAlgo for CubicSender {
+    fn on_start(&mut self, now: SimTime, out: &mut SenderOutput) {
+        self.send_new_data(out);
+        self.arm_rto(now, out);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, now: SimTime, out: &mut SenderOutput) {
+        if ack.cum_ack > self.snd_una {
+            self.handle_new_ack(ack, now, out);
+        } else if ack.dup {
+            self.handle_dupack(now, out);
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, out: &mut SenderOutput) {
+        if self.flight() == 0 {
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.reduce();
+        self.cwnd = 1.0;
+        self.dupacks = 0;
+        self.state = State::Open;
+        self.fr_allowed_from = self.highest_sent;
+        self.rto.backoff();
+        // Go-back-N refill from the oldest hole, as in the baselines.
+        self.snd_nxt = self.snd_una;
+        self.send_new_data(out);
+        self.arm_rto(now, out);
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "CUBIC"
+    }
+
+    fn in_flight(&self) -> usize {
+        self.flight() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn ack_at(cum: u64, sent: SimTime) -> AckEvent {
+        AckEvent {
+            cum_ack: cum,
+            sack: Vec::new(),
+            dsack: None,
+            echo_timestamp: sent,
+            echo_tx_count: 1,
+            dup: false,
+        }
+    }
+
+    fn dupack(cum: u64) -> AckEvent {
+        AckEvent { dup: true, ..ack_at(cum, SimTime::ZERO) }
+    }
+
+    /// Drives the sender through `n` in-order ACK rounds, 10 ms RTT.
+    fn warm_up(s: &mut CubicSender, n: u64) -> SimTime {
+        let mut out = SenderOutput::new();
+        s.on_start(SimTime::ZERO, &mut out);
+        out.clear();
+        let mut now = SimTime::ZERO;
+        for cum in 1..=n {
+            now += ms(10);
+            s.on_ack(&ack_at(cum, now - ms(10)), now, &mut out);
+            out.clear();
+        }
+        now
+    }
+
+    #[test]
+    fn curve_anchors_at_w_max() {
+        let (c, beta, w_max) = (0.4, 0.7, 100.0);
+        let k = k_from_w_max(w_max, beta, c);
+        // W_cubic(0) = β·W_max; W_cubic(K) = W_max.
+        assert!((w_cubic(0.0, w_max, k, c) - beta * w_max).abs() < 1e-9);
+        assert!((w_cubic(k, w_max, k, c) - w_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_doubles_like_reno() {
+        let mut s = CubicSender::new(CubicConfig::default());
+        warm_up(&mut s, 4);
+        assert_eq!(s.cwnd(), 5.0, "one segment per acked segment in slow start");
+    }
+
+    #[test]
+    fn fast_retransmit_reduces_by_beta() {
+        let mut s = CubicSender::new(CubicConfig::default());
+        let now = warm_up(&mut s, 8);
+        let cwnd = s.cwnd();
+        let mut out = SenderOutput::new();
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        assert_eq!(s.stats().fast_retransmits, 1);
+        assert!((s.ssthresh() - cwnd * 0.7).abs() < 1e-9);
+        assert!((s.w_max() - cwnd).abs() < 1e-9);
+        let rtx: Vec<_> = out.transmissions().iter().filter(|t| t.is_retransmit).collect();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].seq, 8);
+    }
+
+    #[test]
+    fn fast_convergence_shrinks_w_max_on_consecutive_losses() {
+        let mut s = CubicSender::new(CubicConfig::default());
+        let now = warm_up(&mut s, 8);
+        let mut out = SenderOutput::new();
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        let w_max_1 = s.w_max();
+        // Recover fully, then lose again *below* the previous W_max.
+        out.clear();
+        let recover = s.snd_nxt;
+        s.on_ack(&ack_at(recover, now), now + ms(20), &mut out);
+        out.clear();
+        let mut t = now + ms(21);
+        for i in 0..3 {
+            // Keep some flight, then three dupacks at a smaller window.
+            s.on_ack(&dupack(recover), t, &mut out);
+            t += ms(1);
+            let _ = i;
+        }
+        assert_eq!(s.stats().fast_convergence_events, 1);
+        assert!(s.w_max() < w_max_1, "second event must shrink W_max");
+    }
+
+    #[test]
+    fn congestion_avoidance_follows_the_cubic_curve() {
+        let cfg = CubicConfig { initial_ssthresh: 8.0, ..CubicConfig::default() };
+        let mut s = CubicSender::new(cfg);
+        let now = warm_up(&mut s, 8);
+        // Past ssthresh: further ACK rounds grow via the cubic law, and the
+        // window stays within the curve's target.
+        let mut out = SenderOutput::new();
+        let mut t = now;
+        let mut cum = 8;
+        for _ in 0..200 {
+            t += ms(10);
+            cum += 1;
+            s.on_ack(&ack_at(cum, t - ms(10)), t, &mut out);
+            out.clear();
+        }
+        assert!(s.cwnd() > 8.0, "convex region must grow past the anchor");
+        assert!(s.cwnd() < s.cfg.max_cwnd);
+    }
+
+    #[test]
+    fn timeout_resets_window_and_goes_back_n() {
+        let mut s = CubicSender::new(CubicConfig::default());
+        let now = warm_up(&mut s, 4);
+        let mut out = SenderOutput::new();
+        s.on_timer(now + SimDuration::from_secs(3), &mut out);
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(s.stats().timeouts, 1);
+        assert_eq!(out.transmissions().len(), 1);
+        assert_eq!(out.transmissions()[0].seq, 4);
+        assert!(out.transmissions()[0].is_retransmit);
+    }
+
+    #[test]
+    fn no_fast_retransmit_right_after_timeout() {
+        let mut s = CubicSender::new(CubicConfig::default());
+        let now = warm_up(&mut s, 4);
+        let mut out = SenderOutput::new();
+        s.on_timer(now + SimDuration::from_secs(3), &mut out);
+        out.clear();
+        for i in 0..5 {
+            s.on_ack(&dupack(4), now + SimDuration::from_secs(3) + ms(i), &mut out);
+        }
+        assert_eq!(s.stats().fast_retransmits, 0);
+    }
+
+    #[test]
+    fn partial_ack_plugs_the_next_hole() {
+        let mut s = CubicSender::new(CubicConfig::default());
+        let now = warm_up(&mut s, 8);
+        let mut out = SenderOutput::new();
+        for _ in 0..3 {
+            s.on_ack(&dupack(8), now + ms(1), &mut out);
+        }
+        out.clear();
+        s.on_ack(&ack_at(10, now), now + ms(5), &mut out);
+        let rtx: Vec<_> = out.transmissions().iter().filter(|t| t.is_retransmit).collect();
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(rtx[0].seq, 10);
+        assert_eq!(s.stats().partial_acks, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Sliding-window max/min estimation.
+//!
+//! BBR tracks the maximum delivery rate and the minimum RTT over bounded
+//! windows. This module implements those estimators exactly with a
+//! monotonic deque: the deque holds the subsequence of samples that could
+//! still become the window's best as older samples expire, so `get()` is
+//! always the true max (or min) of every sample observed within the window
+//! — no approximation, and O(1) amortized per update.
+
+use std::collections::VecDeque;
+
+use netsim::time::{SimDuration, SimTime};
+
+/// Exact windowed max/min filter over timestamped samples.
+///
+/// Samples must be fed with non-decreasing timestamps (simulation time only
+/// moves forward). A sample expires once it is strictly older than the
+/// window, measured from the most recent update.
+///
+/// # Examples
+///
+/// ```
+/// use cc::windowed_filter::WindowedFilter;
+/// use netsim::time::{SimDuration, SimTime};
+///
+/// let mut f = WindowedFilter::max_over(SimDuration::from_secs(10));
+/// f.update(5.0, SimTime::from_secs_f64(0.0));
+/// f.update(3.0, SimTime::from_secs_f64(4.0));
+/// assert_eq!(f.get(), Some(5.0));
+/// // The 5.0 sample expires; the best survivor takes over.
+/// f.update(1.0, SimTime::from_secs_f64(11.0));
+/// assert_eq!(f.get(), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedFilter<T> {
+    window: SimDuration,
+    prefer_max: bool,
+    /// Monotonic deque: values strictly "worsen" front to back; the front
+    /// is the current best in-window sample.
+    samples: VecDeque<(SimTime, T)>,
+}
+
+impl<T: PartialOrd + Copy> WindowedFilter<T> {
+    /// Creates a filter that tracks the windowed maximum.
+    pub fn max_over(window: SimDuration) -> Self {
+        WindowedFilter { window, prefer_max: true, samples: VecDeque::new() }
+    }
+
+    /// Creates a filter that tracks the windowed minimum.
+    pub fn min_over(window: SimDuration) -> Self {
+        WindowedFilter { window, prefer_max: false, samples: VecDeque::new() }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    fn better_or_equal(&self, a: T, b: T) -> bool {
+        if self.prefer_max {
+            a >= b
+        } else {
+            a <= b
+        }
+    }
+
+    /// Feeds one sample observed at `now` and expires samples older than
+    /// the window. Timestamps must be non-decreasing across calls.
+    pub fn update(&mut self, value: T, now: SimTime) {
+        // A new sample obsoletes every queued sample it is at least as good
+        // as: those could never again be the window best.
+        while let Some(&(_, back)) = self.samples.back() {
+            if self.better_or_equal(value, back) {
+                self.samples.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.samples.push_back((now, value));
+        self.expire(now);
+    }
+
+    /// Drops every sample strictly older than the window, measured from
+    /// `now`. Called automatically by [`WindowedFilter::update`].
+    pub fn expire(&mut self, now: SimTime) {
+        while let Some(&(at, _)) = self.samples.front() {
+            if now.saturating_since(at) > self.window {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The best (max or min) sample within the window, if any survives.
+    pub fn get(&self) -> Option<T> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+
+    /// The timestamp of the current best sample, if any.
+    pub fn best_at(&self) -> Option<SimTime> {
+        self.samples.front().map(|&(at, _)| at)
+    }
+
+    /// Discards every sample.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Number of candidate samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn max_filter_tracks_running_max() {
+        let mut f = WindowedFilter::max_over(SimDuration::from_secs(100));
+        for (i, v) in [3.0, 7.0, 5.0, 6.0, 2.0].iter().enumerate() {
+            f.update(*v, t(i as f64));
+        }
+        assert_eq!(f.get(), Some(7.0));
+    }
+
+    #[test]
+    fn min_filter_tracks_running_min() {
+        let mut f = WindowedFilter::min_over(SimDuration::from_secs(100));
+        for (i, v) in [9.0, 4.0, 6.0, 5.0].iter().enumerate() {
+            f.update(*v, t(i as f64));
+        }
+        assert_eq!(f.get(), Some(4.0));
+    }
+
+    #[test]
+    fn expiry_promotes_the_best_survivor() {
+        let mut f = WindowedFilter::max_over(SimDuration::from_secs(10));
+        f.update(9.0, t(0.0));
+        f.update(6.0, t(3.0));
+        f.update(4.0, t(6.0));
+        assert_eq!(f.get(), Some(9.0));
+        // At t=11 the 9.0 sample (age 11 s) is out; 6.0 (age 8 s) leads.
+        f.update(1.0, t(11.0));
+        assert_eq!(f.get(), Some(6.0));
+        // At t=14 the 6.0 sample expires too.
+        f.update(1.0, t(14.0));
+        assert_eq!(f.get(), Some(4.0));
+    }
+
+    #[test]
+    fn equal_samples_refresh_the_timestamp() {
+        let mut f = WindowedFilter::max_over(SimDuration::from_secs(10));
+        f.update(5.0, t(0.0));
+        f.update(5.0, t(8.0));
+        // The older copy was replaced, so the value survives past t=10.
+        f.update(1.0, t(12.0));
+        assert_eq!(f.get(), Some(5.0));
+        assert_eq!(f.best_at(), Some(t(8.0)));
+    }
+
+    #[test]
+    fn everything_can_expire() {
+        let mut f = WindowedFilter::min_over(SimDuration::from_secs(1));
+        f.update(2.0, t(0.0));
+        f.expire(t(5.0));
+        assert_eq!(f.get(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn works_with_sim_durations() {
+        let mut f = WindowedFilter::min_over(SimDuration::from_secs(10));
+        f.update(SimDuration::from_millis(50), t(0.0));
+        f.update(SimDuration::from_millis(30), t(1.0));
+        f.update(SimDuration::from_millis(40), t(2.0));
+        assert_eq!(f.get(), Some(SimDuration::from_millis(30)));
+    }
+}

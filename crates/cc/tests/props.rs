@@ -1,0 +1,143 @@
+//! Property tests for the congestion-control building blocks.
+//!
+//! The windowed filter is checked against a naive full scan over the same
+//! sample stream (exactness, not approximation), and the CUBIC window math
+//! is checked against its RFC 8312 anchor points and the TCP-friendly
+//! lower bound.
+
+use cc::cubic::{k_from_w_max, w_cubic, w_est};
+use cc::windowed_filter::WindowedFilter;
+use netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Naive reference: best in-window sample by scanning the whole history.
+fn naive_best(
+    history: &[(SimTime, u64)],
+    now: SimTime,
+    window: SimDuration,
+    prefer_max: bool,
+) -> Option<u64> {
+    let live =
+        history.iter().filter(|&&(at, _)| now.saturating_since(at) <= window).map(|&(_, v)| v);
+    if prefer_max {
+        live.max()
+    } else {
+        live.min()
+    }
+}
+
+/// Turns proptest-generated (gap, value) pairs into a timestamped stream
+/// with non-decreasing sample times.
+fn build_stream(gaps_ms: &[(u64, u64)]) -> Vec<(SimTime, u64)> {
+    let mut now = SimTime::ZERO;
+    gaps_ms
+        .iter()
+        .map(|&(gap, v)| {
+            now += SimDuration::from_millis(gap);
+            (now, v)
+        })
+        .collect()
+}
+
+proptest! {
+    /// The monotonic-deque filter agrees with a naive scan of the full
+    /// history at every step, for both max and min variants.
+    #[test]
+    fn filter_matches_naive_scan(
+        window_ms in 1u64..500,
+        stream in proptest::collection::vec((0u64..200, 0u64..1_000), 1..60),
+        prefer_max in 0u64..2,
+    ) {
+        let window = SimDuration::from_millis(window_ms);
+        let prefer_max = prefer_max == 1;
+        let mut filter = if prefer_max {
+            WindowedFilter::max_over(window)
+        } else {
+            WindowedFilter::min_over(window)
+        };
+        let samples = build_stream(&stream);
+        let mut history = Vec::new();
+        for &(at, v) in &samples {
+            filter.update(v, at);
+            history.push((at, v));
+            prop_assert_eq!(
+                filter.get(),
+                naive_best(&history, at, window, prefer_max),
+                "divergence at t={:?} (window {:?}, max={})", at, window, prefer_max
+            );
+        }
+    }
+
+    /// Expiry is monotone: advancing the clock only ever removes samples,
+    /// never resurrects them, and everything strictly older than the
+    /// window is gone.
+    #[test]
+    fn expiry_is_monotone(
+        window_ms in 1u64..200,
+        stream in proptest::collection::vec((0u64..50, 0u64..1_000), 1..40),
+        probes_ms in proptest::collection::vec(0u64..400, 1..10),
+    ) {
+        let window = SimDuration::from_millis(window_ms);
+        let mut filter = WindowedFilter::max_over(window);
+        let samples = build_stream(&stream);
+        for &(at, v) in &samples {
+            filter.update(v, at);
+        }
+        let last = samples.last().expect("stream is non-empty").0;
+        let mut now = last;
+        let mut prev_len = filter.len();
+        for &gap in &probes_ms {
+            now += SimDuration::from_millis(gap);
+            filter.expire(now);
+            prop_assert!(filter.len() <= prev_len, "expiry grew the sample set");
+            prev_len = filter.len();
+            if let Some(at) = filter.best_at() {
+                prop_assert!(now.saturating_since(at) <= window, "stale sample survived expiry");
+            }
+        }
+        // Far past the window, nothing may survive.
+        filter.expire(now + window + SimDuration::from_millis(1) + (last - SimTime::ZERO));
+        prop_assert!(filter.is_empty());
+    }
+
+    /// RFC 8312 anchor points: the cubic curve starts the epoch at the
+    /// reduced window β·W_max and crosses W_max exactly at t = K.
+    #[test]
+    fn cubic_curve_anchors(w_max_tenths in 20u64..100_000) {
+        let c = 0.4;
+        let beta = 0.7;
+        let w_max = w_max_tenths as f64 / 10.0;
+        let k = k_from_w_max(w_max, beta, c);
+        let tol = 1e-9 * w_max.max(1.0);
+        prop_assert!((w_cubic(0.0, w_max, k, c) - beta * w_max).abs() < tol);
+        prop_assert!((w_cubic(k, w_max, k, c) - w_max).abs() < tol);
+        // The curve is non-decreasing through the plateau and beyond.
+        prop_assert!(w_cubic(k + 1.0, w_max, k, c) > w_max);
+    }
+
+    /// The TCP-friendly region never undercuts the Reno response: W_est
+    /// starts at the same post-loss window β·W_max and grows linearly, so
+    /// applying max(cwnd, W_est) keeps CUBIC at or above a Reno flow with
+    /// the standard AIMD response for this β.
+    #[test]
+    fn tcp_friendly_region_at_least_reno_response(
+        w_max_tenths in 20u64..10_000,
+        rtt_ms in 1u64..500,
+        t_ms in 0u64..60_000,
+    ) {
+        let beta = 0.7;
+        let w_max = w_max_tenths as f64 / 10.0;
+        let rtt = rtt_ms as f64 / 1000.0;
+        let t = t_ms as f64 / 1000.0;
+        let est = w_est(t, rtt, w_max, beta);
+        // Reno response for the same loss event and elapsed rounds:
+        // reduced window plus α segments per RTT, with the RFC 8312
+        // fairness-preserving α = 3(1-β)/(1+β).
+        let alpha = 3.0 * (1.0 - beta) / (1.0 + beta);
+        let reno = w_max * beta + alpha * (t / rtt);
+        prop_assert!((est - reno).abs() < 1e-9 * reno.max(1.0));
+        // W_est is monotone in t and anchored at the reduced window.
+        prop_assert!(est + 1e-12 >= w_max * beta);
+        prop_assert!(w_est(t + 1.0, rtt, w_max, beta) > est);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p experiments --bin repro --release -- \
-//!     [fig2|fig3|fig4|fig6|ablations|ext|stress|stress-smoke|bench-sweep|all] \
+//!     [fig2|fig3|fig4|fig6|faceoff|ablations|ext|stress|stress-smoke|cc-smoke|bench-sweep|all] \
 //!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>] [--list]
 //! ```
 //!
@@ -20,7 +20,8 @@
 //! reported on stderr. With `--telemetry-dir <dir>`, the fig2 run
 //! additionally streams a complete JSONL packet trace of its first TCP-PR
 //! flow into `<dir>`. The `bench-sweep` selector times a serial vs parallel
-//! quick sweep and writes `results/bench_sweep.json`.
+//! quick sweep, writes `results/bench_sweep.json`, and appends the run to
+//! the top-level `BENCH_sweep.json` perf trajectory.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -245,12 +246,33 @@ fn run_bench_sweep(cli: &Cli, ctx: &ExecCtx) {
     ]);
     let path = Path::new("results/bench_sweep.json");
     write_artifact_or_exit(path, &serde_json::to_string_pretty(&bench).expect("total"));
+    append_bench_trajectory(bench);
     eprintln!(
         "[bench-sweep] serial {:.1}s vs parallel {:.1}s — speedup {speedup:.2}x → {}",
         serial.wall_s,
         parallel.wall_s,
         path.display()
     );
+}
+
+/// Appends this run's numbers to the top-level `BENCH_sweep.json`
+/// trajectory (an array, one entry per recorded run), so successive
+/// changes show their events/sec and speedup deltas against history.
+/// `results/bench_sweep.json` keeps only the latest run.
+fn append_bench_trajectory(entry: Value) {
+    let path = Path::new("BENCH_sweep.json");
+    let mut trajectory = fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .and_then(|v| match v {
+            Value::Array(entries) => Some(entries),
+            _ => None,
+        })
+        .unwrap_or_default();
+    trajectory.push(entry);
+    let rendered = serde_json::to_string_pretty(&Value::Array(trajectory)).expect("total");
+    write_artifact_or_exit(path, &rendered);
+    eprintln!("[bench-sweep] trajectory appended -> {}", path.display());
 }
 
 fn main() {

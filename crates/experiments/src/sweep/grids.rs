@@ -62,8 +62,10 @@ pub fn all_figures(quick: bool, trace_fig2: bool) -> Vec<FigureGrid> {
         ablations_grid(plan),
         fig6_grid(quick, plan, 10),
         fig6_grid(quick, plan, 60),
+        faceoff_grid(quick, plan),
         stress_grid(quick, plan),
         stress_smoke_grid(),
+        cc_smoke_grid(),
     ]
 }
 
@@ -225,8 +227,15 @@ fn assemble_fig4(specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) 
 }
 
 /// The protocols compared by the route-flap and churn extensions.
-const EXT_VARIANTS: [Variant; 5] =
-    [Variant::TcpPr, Variant::Sack, Variant::NewReno, Variant::Eifel, Variant::Door];
+const EXT_VARIANTS: [Variant; 7] = [
+    Variant::TcpPr,
+    Variant::Sack,
+    Variant::NewReno,
+    Variant::Eifel,
+    Variant::Door,
+    Variant::Cubic,
+    Variant::Bbr,
+];
 
 fn routeflap_grid(plan: PlanSpec) -> FigureGrid {
     let cfg = routeflap::RouteFlapConfig::default();
@@ -316,9 +325,10 @@ fn assemble_ablations(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, V
     (ablations::format_table(&results), serde::Serialize::to_value(&results))
 }
 
-/// The eight protocols of the stress suite: the paper's main contenders
-/// plus one representative per DSACK response and both extensions.
-pub const STRESS_VARIANTS: [Variant; 8] = [
+/// The ten protocols of the stress suite: the paper's main contenders,
+/// one representative per DSACK response, both extensions, and the two
+/// modern comparators.
+pub const STRESS_VARIANTS: [Variant; 10] = [
     Variant::TcpPr,
     Variant::TdFr,
     Variant::DsackNm,
@@ -327,6 +337,8 @@ pub const STRESS_VARIANTS: [Variant; 8] = [
     Variant::NewReno,
     Variant::Eifel,
     Variant::Door,
+    Variant::Cubic,
+    Variant::Bbr,
 ];
 
 /// The impairment profiles of the stress matrix, in table order. Quick
@@ -401,6 +413,106 @@ fn assemble_stress(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Valu
     (stress::format_table(&results), serde::Serialize::to_value(&results))
 }
 
+/// The reorder-robustness face-off: TCP-PR against the classical and
+/// modern loss/rate-based stacks on the ε-routed mesh.
+const FACEOFF_VARIANTS: [Variant; 5] =
+    [Variant::TcpPr, Variant::Sack, Variant::NewReno, Variant::Cubic, Variant::Bbr];
+
+/// Per-link delay of the face-off mesh: 20 ms sits between the paper's
+/// 10 ms and 60 ms Figure 6 settings, so the grid shares no cells with
+/// either fig6 artifact.
+const FACEOFF_LINK_DELAY_MS: u64 = 20;
+
+fn faceoff_grid(quick: bool, plan: PlanSpec) -> FigureGrid {
+    let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
+    let mut specs = Vec::new();
+    for &variant in &FACEOFF_VARIANTS {
+        for &epsilon in epsilons {
+            specs.push(ScenarioSpec::new(
+                ScenarioKind::Multipath { variant, epsilon, link_delay_ms: FACEOFF_LINK_DELAY_MS },
+                plan,
+            ));
+        }
+    }
+    FigureGrid {
+        selector: "faceoff",
+        artifact: "faceoff",
+        in_all: false,
+        specs,
+        assemble: assemble_faceoff,
+    }
+}
+
+fn assemble_faceoff(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let points: Vec<_> = outcomes
+        .iter()
+        .map(|v| decode::fig6_point(v).expect("undecodable faceoff outcome"))
+        .collect();
+    (format_faceoff_table(&points), serde::Serialize::to_value(&points))
+}
+
+/// Face-off table: goodput plus retransmission overhead per (variant, ε),
+/// so the reorder-robustness gap is visible in one block.
+fn format_faceoff_table(points: &[crate::figures::fig6::Fig6Point]) -> String {
+    let mut epsilons: Vec<f64> = points.iter().map(|p| p.epsilon).collect();
+    epsilons.sort_by(f64::total_cmp);
+    epsilons.dedup();
+    let mut variants: Vec<Variant> = Vec::new();
+    for p in points {
+        if !variants.contains(&p.variant) {
+            variants.push(p.variant);
+        }
+    }
+    let delay = points.first().map(|p| p.link_delay_ms).unwrap_or(0);
+    let mut s = format!("Face-off — goodput Mbps (retransmit %), mesh link delay {delay} ms\n");
+    s.push_str("protocol     |");
+    for e in &epsilons {
+        s.push_str(&format!(" eps={e:<13} |"));
+    }
+    s.push('\n');
+    for v in &variants {
+        s.push_str(&format!("{:12} |", v.label()));
+        for e in &epsilons {
+            match points.iter().find(|p| p.variant == *v && p.epsilon == *e) {
+                Some(p) => {
+                    let rtx_pct = if p.segments_sent > 0 {
+                        100.0 * p.retransmits as f64 / p.segments_sent as f64
+                    } else {
+                        0.0
+                    };
+                    s.push_str(&format!(" {:8.2} ({rtx_pct:5.1}%) |", p.mbps));
+                }
+                None => s.push_str(&format!(" {:>17} |", "-")),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The CI smoke slice of the modern comparators: CUBIC and BBR across the
+/// quick impairment profiles, pinned to the quick plan like
+/// [`stress_smoke_grid`] so the job stays cheap and full-mode grids never
+/// collide with it.
+fn cc_smoke_grid() -> FigureGrid {
+    let mut specs = Vec::new();
+    for variant in [Variant::Cubic, Variant::Bbr] {
+        for profile in stress_profiles(true) {
+            specs.push(
+                ScenarioSpec::new(ScenarioKind::Stress { variant }, PlanSpec::Quick)
+                    .with_impairments(profile),
+            );
+        }
+    }
+    FigureGrid {
+        selector: "cc-smoke",
+        artifact: "cc_smoke",
+        in_all: false,
+        specs,
+        assemble: assemble_stress,
+    }
+}
+
 fn fig6_grid(quick: bool, plan: PlanSpec, link_delay_ms: u64) -> FigureGrid {
     let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
     let mut specs = Vec::new();
@@ -438,6 +550,8 @@ mod tests {
         artifacts.sort_unstable();
         let expected = [
             "ablations",
+            "cc_smoke",
+            "faceoff",
             "fig2",
             "fig3",
             "fig4_dumbbell",
@@ -452,7 +566,18 @@ mod tests {
         assert_eq!(artifacts, expected);
         assert_eq!(
             selectors(),
-            vec!["fig2", "fig3", "fig4", "ext", "ablations", "fig6", "stress", "stress-smoke"]
+            vec![
+                "fig2",
+                "fig3",
+                "fig4",
+                "ext",
+                "ablations",
+                "fig6",
+                "faceoff",
+                "stress",
+                "stress-smoke",
+                "cc-smoke"
+            ]
         );
     }
 
@@ -460,7 +585,7 @@ mod tests {
     fn stress_grid_covers_the_variant_profile_matrix() {
         let grids = all_figures(false, false);
         let grid = grids.iter().find(|g| g.artifact == "stress").unwrap();
-        assert_eq!(grid.specs.len(), STRESS_VARIANTS.len() * 7, "8 variants × 7 profiles");
+        assert_eq!(grid.specs.len(), STRESS_VARIANTS.len() * 7, "10 variants × 7 profiles");
         assert!(!grid.in_all, "stress is opt-in like the other extensions");
         let baselines = grid.specs.iter().filter(|s| s.impairments.is_empty()).count();
         assert_eq!(baselines, STRESS_VARIANTS.len(), "one baseline cell per variant");
@@ -481,6 +606,72 @@ mod tests {
                 .iter()
                 .all(|s| matches!(s.kind, ScenarioKind::Stress { variant: Variant::TcpPr })));
         }
+    }
+
+    #[test]
+    fn cc_smoke_is_always_quick() {
+        // Like stress-smoke, the cc smoke grid ignores `--quick` so the CI
+        // job cost is bounded: 2 modern variants × 4 quick profiles.
+        for quick in [true, false] {
+            let grids = all_figures(quick, false);
+            let smoke = grids.iter().find(|g| g.artifact == "cc_smoke").unwrap();
+            assert_eq!(smoke.specs.len(), 8);
+            assert!(smoke.specs.iter().all(|s| s.plan == PlanSpec::Quick));
+            assert!(smoke.specs.iter().all(|s| matches!(
+                s.kind,
+                ScenarioKind::Stress { variant: Variant::Cubic | Variant::Bbr }
+            )));
+        }
+    }
+
+    #[test]
+    fn faceoff_grid_shares_no_cells_with_fig6() {
+        // The face-off mesh uses a 20 ms link delay precisely so its specs
+        // never collide with the 10/60 ms fig6 artifacts.
+        for quick in [true, false] {
+            let grids = all_figures(quick, false);
+            let faceoff = grids.iter().find(|g| g.artifact == "faceoff").unwrap();
+            assert_eq!(faceoff.specs.len(), FACEOFF_VARIANTS.len() * if quick { 3 } else { 5 });
+            let fig6_hashes: Vec<u64> = grids
+                .iter()
+                .filter(|g| g.selector == "fig6")
+                .flat_map(|g| g.specs.iter().map(|s| s.content_hash()))
+                .collect();
+            assert!(faceoff.specs.iter().all(|s| !fig6_hashes.contains(&s.content_hash())));
+        }
+    }
+
+    #[test]
+    fn preexisting_stress_specs_hash_stably() {
+        // Adding CUBIC and BBR extends the stress matrix; the cells of the
+        // original eight variants must keep their content hashes, or every
+        // cached stress outcome would silently re-execute. Pinned against
+        // the values the suite shipped with.
+        let grids = all_figures(false, false);
+        let grid = grids.iter().find(|g| g.artifact == "stress").unwrap();
+        let baseline_hashes: Vec<String> = grid
+            .specs
+            .iter()
+            .filter(|s| {
+                s.impairments.is_empty()
+                    && !matches!(
+                        s.kind,
+                        ScenarioKind::Stress { variant: Variant::Cubic | Variant::Bbr }
+                    )
+            })
+            .map(|s| format!("{:016x}", s.content_hash()))
+            .collect();
+        let pinned = [
+            "3770f218b572f94a",
+            "62934186ec494844",
+            "323cee42955c6188",
+            "a4e68e35bb71b292",
+            "16eb9d7d5a134f4c",
+            "338b7356afe40fc3",
+            "3abfcd65dae932ea",
+            "4804672a31f19e4e",
+        ];
+        assert_eq!(baseline_hashes, pinned);
     }
 
     #[test]

@@ -7,6 +7,8 @@ use baselines::eifel::EifelSender;
 use baselines::reno::{RenoConfig, RenoSender};
 use baselines::sack::{SackConfig, SackSender};
 use baselines::tdfr::{TdFrConfig, TdFrSender};
+use cc::bbr::{BbrConfig, BbrSender};
+use cc::cubic::{CubicConfig, CubicSender};
 use tcp_pr::{TcpPrConfig, TcpPrSender};
 use transport::sender::TcpSenderAlgo;
 
@@ -35,6 +37,10 @@ pub enum Variant {
     Eifel,
     /// TCP-DOOR (out-of-order detection and response) — extension.
     Door,
+    /// CUBIC (RFC 8312) — modern comparator.
+    Cubic,
+    /// BBR v1 (rate-based model, paced) — modern comparator.
+    Bbr,
 }
 
 impl Variant {
@@ -48,8 +54,8 @@ impl Variant {
         Variant::Ewma,
     ];
 
-    /// All variants, including extensions.
-    pub const ALL: [Variant; 11] = [
+    /// All variants, including extensions and modern comparators.
+    pub const ALL: [Variant; 13] = [
         Variant::TcpPr,
         Variant::TdFr,
         Variant::DsackNm,
@@ -61,6 +67,8 @@ impl Variant {
         Variant::Reno,
         Variant::Eifel,
         Variant::Door,
+        Variant::Cubic,
+        Variant::Bbr,
     ];
 
     /// The inverse of serialization: resolves a variant from the name the
@@ -84,6 +92,8 @@ impl Variant {
             Variant::Reno => "TCP-Reno",
             Variant::Eifel => "Eifel",
             Variant::Door => "TCP-DOOR",
+            Variant::Cubic => "CUBIC",
+            Variant::Bbr => "BBR",
         }
     }
 
@@ -121,6 +131,12 @@ impl Variant {
             Variant::Door => {
                 Box::new(DoorSender::new(DoorConfig { base: reno, ..DoorConfig::default() }))
             }
+            Variant::Cubic => {
+                Box::new(CubicSender::new(CubicConfig { max_cwnd, ..CubicConfig::default() }))
+            }
+            Variant::Bbr => {
+                Box::new(BbrSender::new(BbrConfig { max_cwnd, ..BbrConfig::default() }))
+            }
         }
     }
 }
@@ -139,7 +155,10 @@ mod tests {
     fn every_variant_builds() {
         for v in Variant::ALL {
             let s = v.build();
-            assert_eq!(s.cwnd(), 1.0, "{v} must start with cwnd = 1");
+            // Loss-based variants start at cwnd = 1; BBR opens with its
+            // 4-segment initial window.
+            let expected = if v == Variant::Bbr { 4.0 } else { 1.0 };
+            assert_eq!(s.cwnd(), expected, "{v} must start with cwnd = {expected}");
         }
     }
 

@@ -11,10 +11,12 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The selectors exercised end to end. `ablations` and `ext` cover three
-/// artifacts and three scenario families (ablation, route flap, churn)
-/// while staying cheap enough for a debug-build test.
-const SELECTORS: [&str; 2] = ["ablations", "ext"];
-const ARTIFACTS: [&str; 3] = ["ablations.json", "routeflap.json", "manet.json"];
+/// artifacts and three scenario families (ablation, route flap, churn);
+/// `cc-smoke` adds the paced/modern senders (CUBIC, BBR) so the
+/// determinism contract is proven over the pacing aux-timer path too. All
+/// stay cheap enough for a debug-build test.
+const SELECTORS: [&str; 3] = ["ablations", "ext", "cc-smoke"];
+const ARTIFACTS: [&str; 4] = ["ablations.json", "routeflap.json", "manet.json", "cc_smoke.json"];
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sweep-e2e-{tag}-{}", std::process::id()));
@@ -81,8 +83,8 @@ fn jobs_1_and_jobs_8_produce_byte_identical_artifacts_and_resume_executes_nothin
     let before = artifact_bytes(&parallel_dir);
     let resume_log = repro(&parallel_dir, &["--jobs", "8", "--resume"]);
     assert!(
-        resume_log.contains("0 executed") && resume_log.contains("14 cached"),
-        "resume must re-execute zero of the 14 scenarios: {resume_log}"
+        resume_log.contains("0 executed") && resume_log.contains("26 cached"),
+        "resume must re-execute zero of the 26 scenarios: {resume_log}"
     );
     let after = artifact_bytes(&parallel_dir);
     for ((name, b), (_, a)) in before.iter().zip(&after) {
@@ -94,7 +96,7 @@ fn jobs_1_and_jobs_8_produce_byte_identical_artifacts_and_resume_executes_nothin
     let entries_before =
         fs::read_dir(parallel_dir.join(".sweep-cache")).expect("cache dir").count();
     let nocache_log = repro(&parallel_dir, &["--jobs", "2", "--no-cache"]);
-    assert!(nocache_log.contains("14 executed, 0 cached"), "no-cache re-executes: {nocache_log}");
+    assert!(nocache_log.contains("26 executed, 0 cached"), "no-cache re-executes: {nocache_log}");
     let entries_after = fs::read_dir(parallel_dir.join(".sweep-cache")).expect("cache dir").count();
     assert_eq!(entries_before, entries_after, "--no-cache must not grow the cache");
 

@@ -21,6 +21,10 @@ pub(crate) enum AgentAction {
     SetTimer(SimTime),
     /// Disarm the agent's timer.
     CancelTimer,
+    /// (Re-)arm the agent's auxiliary timer (see [`AgentCtx::set_aux_timer`]).
+    SetAuxTimer(SimTime),
+    /// Disarm the agent's auxiliary timer.
+    CancelAuxTimer,
 }
 
 /// Execution context handed to agent callbacks.
@@ -57,6 +61,21 @@ impl<'a> AgentCtx<'a> {
         self.actions.push(AgentAction::CancelTimer);
     }
 
+    /// Arms the agent's auxiliary timer to fire at `at` (replacing any
+    /// pending auxiliary timer). The auxiliary timer is a second,
+    /// independent timer slot — e.g. a pacing release clock running next to
+    /// the retransmission timer — delivered through
+    /// [`Agent::on_aux_timer`]. Instants in the past fire at the current
+    /// instant.
+    pub fn set_aux_timer(&mut self, at: SimTime) {
+        self.actions.push(AgentAction::SetAuxTimer(at));
+    }
+
+    /// Disarms the agent's auxiliary timer.
+    pub fn cancel_aux_timer(&mut self) {
+        self.actions.push(AgentAction::CancelAuxTimer);
+    }
+
     /// Draws a uniform sample from `[0, 1)` from the simulation's seeded RNG.
     pub fn random(&mut self) -> f64 {
         (self.rng_draw)()
@@ -77,6 +96,13 @@ pub trait Agent {
     /// Invoked when the agent's timer fires. Only current (non-superseded)
     /// timers are delivered.
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// Invoked when the agent's auxiliary timer fires (see
+    /// [`AgentCtx::set_aux_timer`]). Agents that never arm the auxiliary
+    /// timer can keep this default no-op.
+    fn on_aux_timer(&mut self, ctx: &mut AgentCtx<'_>) {
+        let _ = ctx;
+    }
 
     /// Upcast for downcasting concrete agent types when reading statistics.
     fn as_any(&self) -> &dyn Any;

@@ -33,6 +33,14 @@ pub enum EventKind {
         /// Timer generation; lets the simulator discard superseded timers.
         generation: u64,
     },
+    /// An agent's auxiliary timer fires (second, independent timer slot —
+    /// e.g. a pacing release clock beside the retransmission timer).
+    AuxTimer {
+        /// The agent whose auxiliary timer fires.
+        agent: AgentId,
+        /// Auxiliary-timer generation; superseded timers are discarded.
+        generation: u64,
+    },
     /// A scheduled routing change takes effect (models route flaps and
     /// routing-protocol reconvergence).
     InstallRoute {

@@ -137,6 +137,7 @@ struct AgentMeta {
     node: NodeId,
     flow: FlowId,
     timer_generation: u64,
+    aux_timer_generation: u64,
 }
 
 /// A deterministic packet-level discrete-event network simulator.
@@ -401,7 +402,12 @@ impl Simulator {
         let prev = self.node_agents[node.index()].insert(flow, id);
         assert!(prev.is_none(), "flow {flow} already has an agent at {node}");
         self.agents.push(Some(agent));
-        self.agent_meta.push(AgentMeta { node, flow, timer_generation: 0 });
+        self.agent_meta.push(AgentMeta {
+            node,
+            flow,
+            timer_generation: 0,
+            aux_timer_generation: 0,
+        });
         id
     }
 
@@ -484,6 +490,11 @@ impl Simulator {
             EventKind::Timer { agent, generation } => {
                 if self.agent_meta[agent.index()].timer_generation == generation {
                     self.call_agent(agent, AgentCall::Timer);
+                }
+            }
+            EventKind::AuxTimer { agent, generation } => {
+                if self.agent_meta[agent.index()].aux_timer_generation == generation {
+                    self.call_agent(agent, AgentCall::AuxTimer);
                 }
             }
             EventKind::InstallRoute { src, dst, route } => {
@@ -687,6 +698,7 @@ impl Simulator {
                 AgentCall::Start => agent.on_start(&mut ctx),
                 AgentCall::Packet(p) => agent.on_packet(p, &mut ctx),
                 AgentCall::Timer => agent.on_timer(&mut ctx),
+                AgentCall::AuxTimer => agent.on_aux_timer(&mut ctx),
             }
         }
         self.agents[id.index()] = Some(agent);
@@ -711,6 +723,18 @@ impl Simulator {
             }
             AgentAction::CancelTimer => {
                 self.agent_meta[id.index()].timer_generation += 1;
+            }
+            AgentAction::SetAuxTimer(at) => {
+                let meta = &mut self.agent_meta[id.index()];
+                meta.aux_timer_generation += 1;
+                let fire_at = at.max(self.now);
+                self.events.schedule(
+                    fire_at,
+                    EventKind::AuxTimer { agent: id, generation: meta.aux_timer_generation },
+                );
+            }
+            AgentAction::CancelAuxTimer => {
+                self.agent_meta[id.index()].aux_timer_generation += 1;
             }
         }
     }
@@ -758,6 +782,7 @@ enum AgentCall {
     Start,
     Packet(Packet),
     Timer,
+    AuxTimer,
 }
 
 #[cfg(test)]
@@ -1039,6 +1064,57 @@ mod tests {
         let id = sim.add_agent(a, FlowId::from_raw(0), Box::new(CancelAgent { fired: 0 }));
         sim.run_until(SimTime::from_secs_f64(1.0));
         assert_eq!(sim.agent(id).as_any().downcast_ref::<CancelAgent>().unwrap().fired, 0);
+    }
+
+    #[test]
+    fn aux_timer_is_independent_of_main_timer() {
+        // One agent arms both timer slots; re-arming / cancelling one slot
+        // must not disturb the other.
+        struct DualTimer {
+            fired: u32,
+            aux_fired: u32,
+        }
+        impl Agent for DualTimer {
+            fn on_start(&mut self, ctx: &mut AgentCtx<'_>) {
+                ctx.set_timer(ctx.now + SimDuration::from_millis(10));
+                // Arm, then re-arm the aux slot: only the second may fire.
+                ctx.set_aux_timer(ctx.now + SimDuration::from_millis(5));
+                ctx.set_aux_timer(ctx.now + SimDuration::from_millis(15));
+            }
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut AgentCtx<'_>) {}
+            fn on_timer(&mut self, ctx: &mut AgentCtx<'_>) {
+                self.fired += 1;
+                // Cancelling the aux slot from the main callback works too —
+                // but only after it already fired at 15 ms.
+                if self.fired == 2 {
+                    ctx.cancel_aux_timer();
+                }
+                if self.fired < 3 {
+                    ctx.set_timer(ctx.now + SimDuration::from_millis(10));
+                }
+            }
+            fn on_aux_timer(&mut self, ctx: &mut AgentCtx<'_>) {
+                self.aux_fired += 1;
+                ctx.set_aux_timer(ctx.now + SimDuration::from_millis(30));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(0);
+        let a = b.add_node();
+        let mut sim = b.build();
+        let id =
+            sim.add_agent(a, FlowId::from_raw(0), Box::new(DualTimer { fired: 0, aux_fired: 0 }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let agent = sim.agent(id).as_any().downcast_ref::<DualTimer>().unwrap();
+        // Main timer: 10, 20, 30 ms. Aux timer: 15 ms, then the 45 ms re-arm
+        // is cancelled by the 20 ms main fire.
+        assert_eq!(agent.fired, 3);
+        assert_eq!(agent.aux_fired, 1);
     }
 
     #[test]

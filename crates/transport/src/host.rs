@@ -13,8 +13,9 @@ use netsim::packet::{AckHeader, DataHeader, Packet, PacketKind, ACK_PACKET_BYTES
 use netsim::sim::Simulator;
 use netsim::time::SimTime;
 
+use crate::pacing::Pacer;
 use crate::receiver::{ReceiverConfig, ReceiverStats, TcpReceiver};
-use crate::sender::{AckEvent, SenderOutput, TcpSenderAlgo, TimerOp};
+use crate::sender::{AckEvent, SenderOutput, TcpSenderAlgo, TimerOp, Transmission};
 
 /// Counters a sender host keeps.
 #[derive(Debug, Clone, Copy, Default, serde::Serialize)]
@@ -27,6 +28,8 @@ pub struct SenderStats {
     pub last_cum_ack: u64,
     /// ACK packets processed.
     pub acks_received: u64,
+    /// Segments that went through the pacer (zero for unpaced algorithms).
+    pub paced_segments: u64,
 }
 
 /// Per-flow configuration for [`attach_flow`].
@@ -72,6 +75,7 @@ pub struct SenderHost<S> {
     trace_cwnd: bool,
     cwnd_trace: Vec<(SimTime, f64)>,
     out: SenderOutput,
+    pacer: Pacer,
 }
 
 impl<S: TcpSenderAlgo> SenderHost<S> {
@@ -88,6 +92,7 @@ impl<S: TcpSenderAlgo> SenderHost<S> {
             trace_cwnd: opts.trace_cwnd,
             cwnd_trace: Vec::new(),
             out: SenderOutput::new(),
+            pacer: Pacer::new(),
         }
     }
 
@@ -118,23 +123,24 @@ impl<S: TcpSenderAlgo> SenderHost<S> {
     }
 
     fn apply_output(&mut self, ctx: &mut AgentCtx<'_>) {
-        for t in self.out.take_transmissions() {
-            let count = self.tx_counts.entry(t.seq).or_insert(0);
-            *count += 1;
-            self.stats.segments_sent += 1;
-            if t.is_retransmit {
-                self.stats.retransmits += 1;
+        let transmissions = self.out.take_transmissions();
+        match self.algo.pacing_rate() {
+            Some(rate) => {
+                for t in transmissions {
+                    self.pacer.enqueue(t);
+                }
+                self.release_paced(ctx, rate);
             }
-            ctx.send(
-                self.dst,
-                self.mss,
-                PacketKind::Data(DataHeader {
-                    seq: t.seq,
-                    is_retransmit: t.is_retransmit,
-                    tx_count: *count,
-                    timestamp: ctx.now,
-                }),
-            );
+            None => {
+                // The algorithm stopped pacing (or never paced); flush any
+                // residue the pacer still holds, then send directly.
+                for t in self.pacer.drain() {
+                    self.send_segment(ctx, t);
+                }
+                for t in transmissions {
+                    self.send_segment(ctx, t);
+                }
+            }
         }
         match self.out.timer() {
             TimerOp::Keep => {}
@@ -142,6 +148,37 @@ impl<S: TcpSenderAlgo> SenderHost<S> {
             TimerOp::Cancel => ctx.cancel_timer(),
         }
         self.out.clear();
+    }
+
+    /// Releases every paced segment now due and re-arms the auxiliary timer
+    /// for the next release instant, if any segment is still waiting.
+    fn release_paced(&mut self, ctx: &mut AgentCtx<'_>, rate: f64) {
+        for t in self.pacer.release_due(ctx.now, rate) {
+            self.stats.paced_segments += 1;
+            self.send_segment(ctx, t);
+        }
+        if let Some(at) = self.pacer.next_deadline() {
+            ctx.set_aux_timer(at);
+        }
+    }
+
+    fn send_segment(&mut self, ctx: &mut AgentCtx<'_>, t: Transmission) {
+        let count = self.tx_counts.entry(t.seq).or_insert(0);
+        *count += 1;
+        self.stats.segments_sent += 1;
+        if t.is_retransmit {
+            self.stats.retransmits += 1;
+        }
+        ctx.send(
+            self.dst,
+            self.mss,
+            PacketKind::Data(DataHeader {
+                seq: t.seq,
+                is_retransmit: t.is_retransmit,
+                tx_count: *count,
+                timestamp: ctx.now,
+            }),
+        );
     }
 }
 
@@ -182,6 +219,17 @@ impl<S: TcpSenderAlgo + 'static> Agent for SenderHost<S> {
         } else {
             self.algo.on_timer(ctx.now, &mut self.out);
             self.apply_output(ctx);
+        }
+    }
+
+    fn on_aux_timer(&mut self, ctx: &mut AgentCtx<'_>) {
+        match self.algo.pacing_rate() {
+            Some(rate) => self.release_paced(ctx, rate),
+            None => {
+                for t in self.pacer.drain() {
+                    self.send_segment(ctx, t);
+                }
+            }
         }
     }
 
@@ -446,6 +494,86 @@ mod tests {
         assert_eq!(sender_host::<FixedWindowSender>(&sim, h.sender).stats().segments_sent, 0);
         sim.run_until(SimTime::from_secs_f64(2.0));
         assert!(sender_host::<FixedWindowSender>(&sim, h.sender).stats().segments_sent > 0);
+    }
+
+    /// A fixed-window sender that asks the host to pace its segments.
+    #[derive(Debug)]
+    struct PacedFixed {
+        inner: FixedWindowSender,
+        rate: f64,
+    }
+
+    impl crate::telemetry::SenderTelemetry for PacedFixed {
+        fn common_stats(&self) -> crate::telemetry::CommonStats {
+            self.inner.common_stats()
+        }
+    }
+
+    impl TcpSenderAlgo for PacedFixed {
+        fn on_start(&mut self, now: SimTime, out: &mut SenderOutput) {
+            self.inner.on_start(now, out);
+        }
+        fn on_ack(&mut self, ack: &AckEvent, now: SimTime, out: &mut SenderOutput) {
+            self.inner.on_ack(ack, now, out);
+        }
+        fn on_timer(&mut self, now: SimTime, out: &mut SenderOutput) {
+            self.inner.on_timer(now, out);
+        }
+        fn cwnd(&self) -> f64 {
+            self.inner.cwnd()
+        }
+        fn ssthresh(&self) -> f64 {
+            self.inner.ssthresh()
+        }
+        fn name(&self) -> &'static str {
+            "paced-fixed"
+        }
+        fn in_flight(&self) -> usize {
+            self.inner.in_flight()
+        }
+        fn pacing_rate(&self) -> Option<f64> {
+            Some(self.rate)
+        }
+    }
+
+    #[test]
+    fn paced_sender_spaces_segments_at_the_requested_rate() {
+        let (mut sim, src, dst) = two_node();
+        sim.enable_trace(&[], 100_000);
+        // 50 segments/s → 20 ms spacing, far wider than the 0.8 ms
+        // serialization time of the 10 Mbps link.
+        let algo = PacedFixed { inner: fixed(8), rate: 50.0 };
+        let h = attach_flow(&mut sim, FlowId::from_raw(0), src, dst, algo, FlowOptions::default());
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let host = sender_host::<PacedFixed>(&sim, h.sender);
+        let stats = host.stats();
+        assert!(stats.segments_sent > 50, "paced flow must make progress");
+        assert_eq!(stats.paced_segments, stats.segments_sent, "every segment goes via the pacer");
+        // Injection instants must be spaced by exactly the pacing interval.
+        let injections: Vec<SimTime> = sim
+            .trace_records()
+            .iter()
+            .filter(|r| matches!(r.kind, netsim::trace::TraceEventKind::Injected) && !r.is_ack)
+            .map(|r| r.at)
+            .collect();
+        for pair in injections.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= SimDuration::from_millis(20),
+                "injections {:?} closer than the pacing interval",
+                pair
+            );
+        }
+    }
+
+    #[test]
+    fn unpaced_sender_never_touches_the_pacer() {
+        let (mut sim, src, dst) = two_node();
+        let h =
+            attach_flow(&mut sim, FlowId::from_raw(0), src, dst, fixed(8), FlowOptions::default());
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let stats = sender_host::<FixedWindowSender>(&sim, h.sender).stats();
+        assert!(stats.segments_sent > 100);
+        assert_eq!(stats.paced_segments, 0);
     }
 
     #[test]

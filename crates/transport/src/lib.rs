@@ -39,6 +39,7 @@
 
 pub mod fixed_window;
 pub mod host;
+pub mod pacing;
 pub mod receiver;
 pub mod rto;
 pub mod sender;
@@ -47,6 +48,7 @@ pub mod telemetry;
 pub use host::{
     attach_flow, receiver_host, sender_host, FlowHandle, FlowOptions, SenderHost, SenderStats,
 };
+pub use pacing::Pacer;
 pub use receiver::{AckDescriptor, ReceiverConfig, ReceiverStats, TcpReceiver};
 pub use rto::RtoEstimator;
 pub use sender::{AckEvent, SenderOutput, TcpSenderAlgo, TimerOp, Transmission};

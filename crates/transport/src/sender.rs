@@ -128,6 +128,14 @@ pub trait TcpSenderAlgo: std::fmt::Debug + crate::telemetry::SenderTelemetry {
 
     /// Number of segments currently considered in flight (diagnostic).
     fn in_flight(&self) -> usize;
+
+    /// Pacing rate in segments per second, if the algorithm wants its
+    /// transmissions metered onto the wire instead of sent back-to-back
+    /// (`None`, the default, sends immediately). Hosts re-read this after
+    /// every callback, so rate changes take effect at once.
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
 }
 
 impl TcpSenderAlgo for Box<dyn TcpSenderAlgo> {
@@ -151,6 +159,9 @@ impl TcpSenderAlgo for Box<dyn TcpSenderAlgo> {
     }
     fn in_flight(&self) -> usize {
         (**self).in_flight()
+    }
+    fn pacing_rate(&self) -> Option<f64> {
+        (**self).pacing_rate()
     }
 }
 
