@@ -396,10 +396,13 @@ impl BbrSender {
     /// is marked lost. BBR never touches the rate model here; the window
     /// drops to what is actually in flight (plus this ACK's deliveries)
     /// for one round of packet conservation, then regrows normally.
-    fn maybe_enter_recovery(&mut self, acked: u64, out: &mut SenderOutput) {
+    fn maybe_enter_recovery(&mut self, acked: u64, now: SimTime, out: &mut SenderOutput) {
         if self.recovery.is_none() && self.lost.contains(&self.snd_una) {
             self.stats.fast_retransmits += 1;
             self.recovery = Some(self.snd_nxt);
+            obs::span(now.as_nanos(), "bbr.recovery_enter", || {
+                format!("una={} recover={} flight={}", self.snd_una, self.snd_nxt, self.flight())
+            });
             self.cwnd = (self.flight() as f64 + acked.max(1) as f64).max(MIN_PIPE_CWND);
             self.packet_conservation = true;
             self.conservation_ends_round = self.round_count + 1;
@@ -445,6 +448,8 @@ impl BbrSender {
 
     /// Advances the state machine after the model update.
     fn update_state(&mut self, now: SimTime) {
+        let prev_state = self.state;
+        let prev_cycle = self.cycle_index;
         match self.state {
             BbrState::Startup => {
                 self.check_full_pipe();
@@ -497,6 +502,18 @@ impl BbrSender {
             self.cwnd_gain = 1.0;
             self.prior_cwnd = self.cwnd;
             self.probe_rtt_done = now + self.cfg.probe_rtt_duration;
+        }
+        if self.state != prev_state {
+            obs::span(now.as_nanos(), "bbr.state", || {
+                format!(
+                    "{:?}->{:?} pacing_gain={:.2} cwnd_gain={:.2}",
+                    prev_state, self.state, self.pacing_gain, self.cwnd_gain
+                )
+            });
+        } else if self.state == BbrState::ProbeBw && self.cycle_index != prev_cycle {
+            obs::span(now.as_nanos(), "bbr.gain_cycle", || {
+                format!("phase={} pacing_gain={:.2}", self.cycle_index, self.pacing_gain)
+            });
         }
     }
 
@@ -628,7 +645,7 @@ impl TcpSenderAlgo for BbrSender {
         }
         let newly_lost = self.update_scoreboard(ack, now);
         let acked = self.delivered - delivered_before;
-        self.maybe_enter_recovery(acked, out);
+        self.maybe_enter_recovery(acked, now, out);
         // Each newly detected loss comes straight out of the window (Linux
         // BBR's `cwnd - rs->losses`): the slack the overshoot left in cwnd
         // melts away as the scoreboard learns what the queue dropped.

@@ -215,8 +215,9 @@ impl CubicSender {
 
     /// One congestion event: update `W_max` (with fast convergence), shrink
     /// by β, and end the cubic epoch.
-    fn reduce(&mut self) {
-        if self.cfg.fast_convergence && self.cwnd < self.w_max {
+    fn reduce(&mut self, now: SimTime) {
+        let fast = self.cfg.fast_convergence && self.cwnd < self.w_max;
+        if fast {
             self.stats.fast_convergence_events += 1;
             self.w_max = self.cwnd * (1.0 + self.cfg.beta) / 2.0;
         } else {
@@ -224,6 +225,12 @@ impl CubicSender {
         }
         self.ssthresh = (self.cwnd * self.cfg.beta).max(2.0);
         self.epoch_start = None;
+        obs::span(now.as_nanos(), "cubic.epoch_reset", || {
+            format!(
+                "w_max={:.2} ssthresh={:.2} fast_convergence={}",
+                self.w_max, self.ssthresh, fast
+            )
+        });
     }
 
     /// Congestion-avoidance growth for `newly` acked segments (§4.1–4.3).
@@ -244,6 +251,9 @@ impl CubicSender {
             } else {
                 self.k = k_from_w_max(self.w_max, self.cfg.beta, self.cfg.c);
             }
+            obs::span(now.as_nanos(), "cubic.epoch_start", || {
+                format!("w_max={:.2} k={:.3} cwnd={:.2}", self.w_max, self.k, self.cwnd)
+            });
         }
         let t = now.saturating_since(self.epoch_start.expect("epoch set above")).as_secs_f64();
         // Target the cubic curve one RTT ahead, as the RFC prescribes.
@@ -271,7 +281,7 @@ impl CubicSender {
 
     fn enter_fast_retransmit(&mut self, now: SimTime, out: &mut SenderOutput) {
         self.stats.fast_retransmits += 1;
-        self.reduce();
+        self.reduce(now);
         self.cwnd = self.ssthresh;
         self.state = State::Recovery { recover: self.snd_nxt };
         let una = self.snd_una;
@@ -370,7 +380,7 @@ impl TcpSenderAlgo for CubicSender {
             return;
         }
         self.stats.timeouts += 1;
-        self.reduce();
+        self.reduce(now);
         self.cwnd = 1.0;
         self.dupacks = 0;
         self.state = State::Open;

@@ -192,7 +192,11 @@ impl TcpPrSender {
     }
 
     fn arm_timer(&self, now: SimTime, out: &mut SenderOutput) {
-        let mut deadline = self.book.earliest_deadline(self.mxrtt());
+        let mxrtt = self.mxrtt();
+        // The drop threshold is TCP-PR's central timer decision; its
+        // distribution over the run is the profile a timer wheel must serve.
+        obs::observe("tcppr.mxrtt_ns", mxrtt.as_nanos());
+        let mut deadline = self.book.earliest_deadline(mxrtt);
         if let Some(p) = self.paused_until {
             if now < p {
                 deadline = Some(deadline.map_or(p, |d| d.min(p)));
@@ -212,6 +216,9 @@ impl TcpPrSender {
             // The window already reacted to this burst: absorb the drop.
             self.stats.memorize_drops += 1;
             self.cburst += 1;
+            obs::span(now.as_nanos(), "tcppr.memorize_drop", || {
+                format!("seq={} cburst={} cwnd={:.2}", seq, self.cburst, self.cwnd)
+            });
             if self.backoff.is_none()
                 && !self.cfg.ablate_no_extreme_loss
                 && self.cburst as f64 > self.cwnd / 2.0 + 1.0
@@ -228,6 +235,9 @@ impl TcpPrSender {
                 self.backoff.expect("checked is_some").saturating_mul(2).min(self.cfg.max_backoff);
             self.backoff = Some(doubled);
             self.paused_until = Some(now + doubled);
+            obs::span(now.as_nanos(), "tcppr.backoff_double", || {
+                format!("seq={} mxrtt_ns={}", seq, doubled.as_nanos())
+            });
         } else {
             // First drop of a burst: halve from the send-time window
             // snapshot and memorize everything else in flight. The
@@ -240,6 +250,9 @@ impl TcpPrSender {
             self.ssthr = self.cwnd;
             self.mode = Mode::CongestionAvoidance;
             self.stats.window_halvings += 1;
+            obs::span(now.as_nanos(), "tcppr.halve", || {
+                format!("seq={} basis={:.2} cwnd={:.2}", seq, basis, self.cwnd)
+            });
         }
     }
 
@@ -258,6 +271,9 @@ impl TcpPrSender {
         self.backoff = Some(b);
         self.paused_until = Some(now + b);
         self.cburst = 0;
+        obs::span(now.as_nanos(), "tcppr.extreme_loss", || {
+            format!("backoff_ns={} paused_until_ns={}", b.as_nanos(), (now + b).as_nanos())
+        });
     }
 }
 

@@ -1,0 +1,209 @@
+//! Bench-trajectory bookkeeping and the perf-regression gate.
+//!
+//! `repro bench-sweep` produces one [`BenchEntry`] per invocation. The entry
+//! is recorded in two places with two roles:
+//!
+//! - `results/bench_sweep.json` — the **latest run only**, alongside the
+//!   other generated artifacts (regenerated wholesale, never appended);
+//! - [`TRAJECTORY_PATH`] (top-level `BENCH_sweep.json`) — the **append-only
+//!   trajectory**, one entry per recorded run, kept in version control so
+//!   every PR shows its events/sec delta against history.
+//!
+//! `repro bench-check` is the gate over that trajectory: it compares the
+//! last entry's serial events/sec against the previous one and fails when
+//! the drop exceeds a configurable threshold.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Value;
+
+/// The append-only perf trajectory, at the repository top level.
+pub const TRAJECTORY_PATH: &str = "BENCH_sweep.json";
+
+/// Default regression threshold for `repro bench-check`, in percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
+
+/// One bench-sweep measurement.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Scenarios in the benchmark workload.
+    pub scenarios: u64,
+    /// Events dispatched by the serial pass.
+    pub events: u64,
+    /// Serial wall-clock seconds.
+    pub serial_wall_s: f64,
+    /// Serial throughput, events per second.
+    pub serial_events_per_sec: f64,
+    /// Worker count of the parallel pass.
+    pub parallel_jobs: u64,
+    /// Parallel wall-clock seconds.
+    pub parallel_wall_s: f64,
+    /// Parallel throughput, events per second.
+    pub parallel_events_per_sec: f64,
+    /// serial wall / parallel wall.
+    pub speedup: f64,
+}
+
+impl serde::Serialize for BenchEntry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("scenarios".to_owned(), Value::UInt(self.scenarios)),
+            ("events".to_owned(), Value::UInt(self.events)),
+            ("serial_jobs".to_owned(), Value::UInt(1)),
+            ("serial_wall_s".to_owned(), Value::Float(self.serial_wall_s)),
+            ("serial_events_per_sec".to_owned(), Value::Float(self.serial_events_per_sec)),
+            ("parallel_jobs".to_owned(), Value::UInt(self.parallel_jobs)),
+            ("parallel_wall_s".to_owned(), Value::Float(self.parallel_wall_s)),
+            ("parallel_events_per_sec".to_owned(), Value::Float(self.parallel_events_per_sec)),
+            ("speedup".to_owned(), Value::Float(self.speedup)),
+        ])
+    }
+}
+
+/// Loads a trajectory file. A missing file is an empty trajectory; a file
+/// that exists but does not parse as a JSON array is an error.
+pub fn load_trajectory(path: &Path) -> Result<Vec<Value>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    match serde_json::from_str(&text) {
+        Ok(Value::Array(entries)) => Ok(entries),
+        Ok(_) => Err(format!("{} is not a JSON array", path.display())),
+        Err(e) => Err(format!("{} does not parse: {e:?}", path.display())),
+    }
+}
+
+/// Appends `entry` to the trajectory at `path` (creating it if missing) and
+/// returns the new length.
+pub fn append_entry(path: &Path, entry: Value) -> Result<usize, String> {
+    let mut trajectory = load_trajectory(path)?;
+    trajectory.push(entry);
+    let len = trajectory.len();
+    let rendered =
+        serde_json::to_string_pretty(&Value::Array(trajectory)).expect("shim serializer is total");
+    fs::write(path, rendered).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(len)
+}
+
+/// Reads the serial events/sec figure out of one trajectory entry.
+pub fn events_per_sec(entry: &Value) -> Option<f64> {
+    let Value::Object(fields) = entry else { return None };
+    let v = fields.iter().find(|(k, _)| k == "serial_events_per_sec").map(|(_, v)| v)?;
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// The comparison `bench-check` makes: last entry against the one before.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchDelta {
+    /// Serial events/sec of the previous entry.
+    pub previous: f64,
+    /// Serial events/sec of the latest entry.
+    pub latest: f64,
+}
+
+impl BenchDelta {
+    /// Relative change in percent; negative means the latest run is slower.
+    pub fn delta_pct(&self) -> f64 {
+        if self.previous > 0.0 {
+            (self.latest - self.previous) / self.previous * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the slowdown exceeds `threshold_pct`.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.delta_pct() < -threshold_pct
+    }
+}
+
+/// Compares the last two usable entries of a trajectory. `Ok(None)` means
+/// there is nothing to compare yet (fewer than two entries); `Err` means an
+/// entry exists but lacks the events/sec field.
+pub fn check(entries: &[Value]) -> Result<Option<BenchDelta>, String> {
+    if entries.len() < 2 {
+        return Ok(None);
+    }
+    let latest = events_per_sec(&entries[entries.len() - 1])
+        .ok_or_else(|| "latest entry lacks serial_events_per_sec".to_owned())?;
+    let previous = events_per_sec(&entries[entries.len() - 2])
+        .ok_or_else(|| "previous entry lacks serial_events_per_sec".to_owned())?;
+    Ok(Some(BenchDelta { previous, latest }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(eps: f64) -> Value {
+        Value::Object(vec![("serial_events_per_sec".to_owned(), Value::Float(eps))])
+    }
+
+    #[test]
+    fn short_trajectories_have_nothing_to_compare() {
+        assert_eq!(check(&[]).unwrap(), None);
+        assert_eq!(check(&[entry(1e6)]).unwrap(), None);
+    }
+
+    #[test]
+    fn a_large_regression_is_flagged() {
+        let delta = check(&[entry(1_000_000.0), entry(700_000.0)]).unwrap().unwrap();
+        assert!((delta.delta_pct() - -30.0).abs() < 1e-9);
+        assert!(delta.regressed(20.0), "a 30% drop exceeds the 20% threshold");
+        assert!(!delta.regressed(50.0), "but not a 50% threshold");
+    }
+
+    #[test]
+    fn small_changes_and_speedups_pass() {
+        let small = check(&[entry(1_000_000.0), entry(950_000.0)]).unwrap().unwrap();
+        assert!(!small.regressed(20.0));
+        let faster = check(&[entry(1_000_000.0), entry(1_500_000.0)]).unwrap().unwrap();
+        assert!(!faster.regressed(20.0));
+        assert!(faster.delta_pct() > 0.0);
+    }
+
+    #[test]
+    fn only_the_last_two_entries_matter() {
+        let t = [entry(5_000_000.0), entry(1_000_000.0), entry(990_000.0)];
+        let delta = check(&t).unwrap().unwrap();
+        assert_eq!(delta.previous, 1_000_000.0);
+        assert_eq!(delta.latest, 990_000.0);
+        assert!(!delta.regressed(20.0));
+    }
+
+    #[test]
+    fn malformed_entries_are_an_error() {
+        assert!(check(&[entry(1e6), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn integral_rates_parse_too() {
+        // A print-parse round trip turns integral floats into integers.
+        let int_entry =
+            Value::Object(vec![("serial_events_per_sec".to_owned(), Value::UInt(2_000_000))]);
+        assert_eq!(events_per_sec(&int_entry), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn append_grows_the_file_and_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("bench-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(load_trajectory(&path).unwrap().len(), 0, "missing file is empty");
+        assert_eq!(append_entry(&path, entry(1e6)).unwrap(), 1);
+        assert_eq!(append_entry(&path, entry(2e6)).unwrap(), 2);
+        let loaded = load_trajectory(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(events_per_sec(&loaded[1]), Some(2e6));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

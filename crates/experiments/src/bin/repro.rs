@@ -3,7 +3,9 @@
 //! ```text
 //! cargo run -p experiments --bin repro --release -- \
 //!     [fig2|fig3|fig4|fig6|faceoff|ablations|ext|stress|stress-smoke|cc-smoke|bench-sweep|all] \
-//!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>] [--list]
+//!     [profile [selector…]] [bench-check] \
+//!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>] \
+//!     [--trajectory <path>] [--threshold-pct <pct>] [--list]
 //! ```
 //!
 //! Every requested figure is expanded into a grid of scenario specs and the
@@ -20,13 +22,27 @@
 //! reported on stderr. With `--telemetry-dir <dir>`, the fig2 run
 //! additionally streams a complete JSONL packet trace of its first TCP-PR
 //! flow into `<dir>`. The `bench-sweep` selector times a serial vs parallel
-//! quick sweep, writes `results/bench_sweep.json`, and appends the run to
-//! the top-level `BENCH_sweep.json` perf trajectory.
+//! quick sweep, writes the latest run to `results/bench_sweep.json`, and
+//! appends it to the top-level `BENCH_sweep.json` perf trajectory.
+//!
+//! Two further commands run *instead of* the figure grids:
+//!
+//! - `repro profile [selector…]` re-runs the named grids (default `fig6`)
+//!   with the `obs` profiler enabled and writes `results/profile.json` —
+//!   per-event-kind dispatch counters, sim-domain histograms, and sender
+//!   state-machine spans in a deterministic section, wall-clock dispatch
+//!   cost in a clearly marked non-deterministic section. Profile runs
+//!   bypass the sweep cache (a cache hit executes nothing to profile).
+//! - `repro bench-check [--trajectory <path>] [--threshold-pct <pct>]`
+//!   compares the last two entries of the perf trajectory and exits
+//!   non-zero when serial events/sec regressed more than the threshold
+//!   (default 20%).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
+use experiments::bench;
 use experiments::sweep::grids::{all_figures, selectors, FigureGrid};
 use experiments::sweep::{
     run_sweep, CachePolicy, ExecCtx, RunOutcome, SweepOptions, DEFAULT_CACHE_DIR,
@@ -42,6 +58,8 @@ struct Cli {
     jobs: usize,
     resume: bool,
     no_cache: bool,
+    trajectory: Option<PathBuf>,
+    threshold_pct: f64,
 }
 
 fn default_jobs() -> usize {
@@ -56,6 +74,8 @@ fn parse_args() -> Cli {
         jobs: default_jobs(),
         resume: false,
         no_cache: false,
+        trajectory: None,
+        threshold_pct: experiments::bench::DEFAULT_THRESHOLD_PCT,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +101,20 @@ fn parse_args() -> Cli {
                     exit(2);
                 }
             },
+            "--trajectory" => match args.next() {
+                Some(path) => cli.trajectory = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --trajectory needs a file argument");
+                    exit(2);
+                }
+            },
+            "--threshold-pct" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 && pct.is_finite() => cli.threshold_pct = pct,
+                _ => {
+                    eprintln!("error: --threshold-pct needs a non-negative percentage");
+                    exit(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}");
                 exit(2);
@@ -93,7 +127,12 @@ fn parse_args() -> Cli {
         exit(2);
     }
     for w in &cli.which {
-        if w != "all" && w != "bench-sweep" && !selectors().contains(&w.as_str()) {
+        if w != "all"
+            && w != "bench-sweep"
+            && w != "profile"
+            && w != "bench-check"
+            && !selectors().contains(&w.as_str())
+        {
             eprintln!("error: unknown selector {w}");
             print_listing();
             exit(2);
@@ -120,6 +159,8 @@ fn print_listing() {
     }
     println!(" {:<15} serial-vs-parallel sweep timing -> results/bench_sweep.json", "bench-sweep");
     println!(" {:<15} every selector marked *", "all");
+    println!(" {:<15} profiled re-run of the named grids -> results/profile.json", "profile");
+    println!(" {:<15} perf-regression gate over BENCH_sweep.json", "bench-check");
 }
 
 /// `fs::create_dir_all` with an error message naming the offending path.
@@ -233,20 +274,31 @@ fn run_bench_sweep(cli: &Cli, ctx: &ExecCtx) {
     assert_eq!(serial.crashed + parallel.crashed, 0, "bench scenarios must not crash");
 
     let speedup = if parallel.wall_s > 0.0 { serial.wall_s / parallel.wall_s } else { 0.0 };
-    let bench = Value::Object(vec![
-        ("scenarios".to_owned(), Value::UInt(specs.len() as u64)),
-        ("events".to_owned(), Value::UInt(serial.events_executed)),
-        ("serial_jobs".to_owned(), Value::UInt(1)),
-        ("serial_wall_s".to_owned(), Value::Float(serial.wall_s)),
-        ("serial_events_per_sec".to_owned(), Value::Float(serial.events_per_sec())),
-        ("parallel_jobs".to_owned(), Value::UInt(parallel_jobs as u64)),
-        ("parallel_wall_s".to_owned(), Value::Float(parallel.wall_s)),
-        ("parallel_events_per_sec".to_owned(), Value::Float(parallel.events_per_sec())),
-        ("speedup".to_owned(), Value::Float(speedup)),
-    ]);
+    let entry = bench::BenchEntry {
+        scenarios: specs.len() as u64,
+        events: serial.events_executed,
+        serial_wall_s: serial.wall_s,
+        serial_events_per_sec: serial.events_per_sec(),
+        parallel_jobs: parallel_jobs as u64,
+        parallel_wall_s: parallel.wall_s,
+        parallel_events_per_sec: parallel.events_per_sec(),
+        speedup,
+    };
+    // Latest run under results/ (regenerated wholesale); the full history
+    // lives only in the top-level trajectory (see `experiments::bench`).
+    let entry_value = serde::Serialize::to_value(&entry);
     let path = Path::new("results/bench_sweep.json");
-    write_artifact_or_exit(path, &serde_json::to_string_pretty(&bench).expect("total"));
-    append_bench_trajectory(bench);
+    write_artifact_or_exit(path, &serde_json::to_string_pretty(&entry_value).expect("total"));
+    let trajectory = Path::new(bench::TRAJECTORY_PATH);
+    match bench::append_entry(trajectory, entry_value) {
+        Ok(len) => {
+            eprintln!("[bench-sweep] trajectory entry {len} appended -> {}", trajectory.display())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
     eprintln!(
         "[bench-sweep] serial {:.1}s vs parallel {:.1}s — speedup {speedup:.2}x → {}",
         serial.wall_s,
@@ -255,28 +307,147 @@ fn run_bench_sweep(cli: &Cli, ctx: &ExecCtx) {
     );
 }
 
-/// Appends this run's numbers to the top-level `BENCH_sweep.json`
-/// trajectory (an array, one entry per recorded run), so successive
-/// changes show their events/sec and speedup deltas against history.
-/// `results/bench_sweep.json` keeps only the latest run.
-fn append_bench_trajectory(entry: Value) {
-    let path = Path::new("BENCH_sweep.json");
-    let mut trajectory = fs::read_to_string(path)
-        .ok()
-        .and_then(|s| serde_json::from_str(&s).ok())
-        .and_then(|v| match v {
-            Value::Array(entries) => Some(entries),
-            _ => None,
+/// `repro profile`: re-runs the named figure grids (default `fig6`) with
+/// the profiler enabled and writes `results/profile.json`. The sweep cache
+/// is bypassed in both directions — a cache hit executes nothing, so it
+/// profiles nothing, and profiled runs must not alter what later plain runs
+/// read back. Returns false if any scenario crashed.
+fn run_profile(cli: &Cli, ctx: &ExecCtx) -> bool {
+    let named: Vec<&String> = cli.which.iter().filter(|w| *w != "profile").collect();
+    let figures: Vec<FigureGrid> = all_figures(cli.quick, false)
+        .into_iter()
+        .filter(|g| {
+            if named.is_empty() {
+                g.selector == "fig6"
+            } else {
+                named.iter().any(|w| *w == g.selector)
+            }
         })
-        .unwrap_or_default();
-    trajectory.push(entry);
-    let rendered = serde_json::to_string_pretty(&Value::Array(trajectory)).expect("total");
-    write_artifact_or_exit(path, &rendered);
-    eprintln!("[bench-sweep] trajectory appended -> {}", path.display());
+        .collect();
+    if figures.is_empty() {
+        eprintln!("error: profile matched no grids");
+        return false;
+    }
+    let specs: Vec<_> = figures.iter().flat_map(|g| g.specs.iter().cloned()).collect();
+    let opts = SweepOptions {
+        jobs: cli.jobs,
+        cache: CachePolicy::Off,
+        cache_dir: DEFAULT_CACHE_DIR.into(),
+        progress: true,
+    };
+    eprintln!(
+        "[profile] {} scenario(s) across {} grid(s), {} worker(s), profiler on",
+        specs.len(),
+        figures.len(),
+        opts.jobs
+    );
+
+    obs::enable();
+    let t0 = std::time::Instant::now();
+    let report = run_sweep(&specs, ctx, &opts);
+    let wall_s = t0.elapsed().as_secs_f64();
+    obs::disable();
+    eprintln!("[profile] done: {}", report.summary());
+    if report.crashed > 0 {
+        eprintln!("error: [profile] {} scenario(s) crashed — artifact not written", report.crashed);
+        return false;
+    }
+
+    // Merge per-scenario profiles in spec order: the merged deterministic
+    // section is then byte-identical at any --jobs count.
+    let mut merged = obs::ProfileReport::default();
+    for r in &report.runs {
+        merged.merge(&r.profile);
+    }
+    let mut wall_section = match merged.wall_clock_value() {
+        Value::Object(fields) => fields,
+        _ => unreachable!("wall_clock_value always builds an object"),
+    };
+    wall_section.push(("wall_s".to_owned(), Value::Float(wall_s)));
+    wall_section.push(("events_per_sec".to_owned(), Value::Float(report.events_per_sec())));
+    let artifact = Value::Object(vec![
+        ("deterministic".to_owned(), merged.deterministic_value()),
+        ("wall_clock_nondeterministic".to_owned(), Value::Object(wall_section)),
+    ]);
+    let path = Path::new("results/profile.json");
+    write_artifact_or_exit(path, &serde_json::to_string_pretty(&artifact).expect("total"));
+
+    println!("profile: {} scenarios, {} spans", specs.len(), merged.spans.len());
+    println!("  {:<24} {:>12}", "event kind", "dispatches");
+    for (key, count) in merged.counters.iter().filter(|(k, _)| k.starts_with("event.")) {
+        println!("  {:<24} {:>12}", key, count);
+    }
+    println!("  {:<24} {:>12}", "span kind", "count");
+    for (kind, count) in &merged.span_counts {
+        println!("  {:<24} {:>12}", kind, count);
+    }
+    eprintln!("[profile] artifact -> {}", path.display());
+    true
+}
+
+/// `repro bench-check`: the perf-regression gate over the trajectory.
+/// Returns the process exit code.
+fn run_bench_check(cli: &Cli) -> i32 {
+    let default_path = PathBuf::from(bench::TRAJECTORY_PATH);
+    let path = cli.trajectory.as_deref().unwrap_or(&default_path);
+    let entries = match bench::load_trajectory(path) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: bench-check: {e}");
+            return 1;
+        }
+    };
+    match bench::check(&entries) {
+        Ok(None) => {
+            println!(
+                "bench-check: {} has {} entr{}; need 2 to compare — pass",
+                path.display(),
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+            0
+        }
+        Ok(Some(delta)) => {
+            println!(
+                "bench-check: serial events/sec {:.0} -> {:.0} ({:+.1}%), threshold -{:.1}%",
+                delta.previous,
+                delta.latest,
+                delta.delta_pct(),
+                cli.threshold_pct
+            );
+            if delta.regressed(cli.threshold_pct) {
+                eprintln!(
+                    "error: bench-check: events/sec regressed {:.1}% (> {:.1}% allowed)",
+                    -delta.delta_pct(),
+                    cli.threshold_pct
+                );
+                1
+            } else {
+                println!("bench-check: pass");
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("error: bench-check: {e}");
+            1
+        }
+    }
 }
 
 fn main() {
     let cli = parse_args();
+
+    // Standalone commands: the regression gate needs no sweep at all, and
+    // `profile` consumes the remaining selectors as its grid list.
+    if cli.which.iter().any(|w| w == "bench-check") {
+        exit(run_bench_check(&cli));
+    }
+    if cli.which.iter().any(|w| w == "profile") {
+        create_dir_or_exit(Path::new("results"), "results");
+        let ctx = ExecCtx { telemetry_dir: None };
+        exit(if run_profile(&cli, &ctx) { 0 } else { 1 });
+    }
+
     let all = cli.which.is_empty() || cli.which.iter().any(|w| w == "all");
     let wants = |name: &str| all || cli.which.iter().any(|w| w == name);
 

@@ -46,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod bench;
 pub mod figures;
 pub mod manet;
 pub mod metrics;

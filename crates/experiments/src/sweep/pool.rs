@@ -62,6 +62,11 @@ pub struct ScenarioRun {
     pub outcome: RunOutcome,
     /// Session stats of the run (restored from cache for cache hits).
     pub work: SessionStats,
+    /// Profiler output of the run. Non-empty only when the scenario was
+    /// actually executed with `obs::enable()` in effect: cache hits and
+    /// deduplicated followers carry an empty report, so merging every run's
+    /// profile counts each execution exactly once.
+    pub profile: obs::ProfileReport,
     /// Whether the outcome came from the cache rather than execution.
     pub cached: bool,
 }
@@ -143,6 +148,7 @@ struct Done {
     spec_index: usize,
     outcome: RunOutcome,
     work: SessionStats,
+    profile: obs::ProfileReport,
 }
 
 /// Runs every spec through the worker pool and returns the outcomes in
@@ -172,6 +178,7 @@ pub fn run_sweep(specs: &[ScenarioSpec], ctx: &ExecCtx, opts: &SweepOptions) -> 
                     spec_index: i,
                     outcome: RunOutcome::Completed(run.outcome),
                     work: run.work,
+                    profile: obs::ProfileReport::default(),
                     cached: true,
                 });
             }
@@ -223,15 +230,17 @@ pub fn run_sweep(specs: &[ScenarioSpec], ctx: &ExecCtx, opts: &SweepOptions) -> 
                     let job = queue.lock().expect("queue lock").pop_front();
                     let Some((spec_index, spec)) = job else { break };
                     session::take(); // clear anything a previous job leaked mid-panic
+                    let _ = obs::take(); // same for the profiler registry
                     let result = panic::catch_unwind(AssertUnwindSafe(|| execute(&spec, ctx)));
                     let work = session::take();
+                    let profile = obs::take();
                     let outcome = match result {
                         Ok(value) => RunOutcome::Completed(canonicalize(value)),
                         Err(payload) => {
                             RunOutcome::Crashed { message: panic_message(payload.as_ref()) }
                         }
                     };
-                    if tx.send(Done { spec_index, outcome, work }).is_err() {
+                    if tx.send(Done { spec_index, outcome, work, profile }).is_err() {
                         break; // collector hung up; nothing left to report to
                     }
                 }
@@ -274,10 +283,19 @@ pub fn run_sweep(specs: &[ScenarioSpec], ctx: &ExecCtx, opts: &SweepOptions) -> 
                 );
             }
             for i in spec_indices {
+                // Only the leader (the index that actually executed) keeps
+                // the profile; followers share the outcome but must not
+                // double-count the execution in merged profiles.
+                let profile = if i == done.spec_index {
+                    done.profile.clone()
+                } else {
+                    obs::ProfileReport::default()
+                };
                 runs[i] = Some(ScenarioRun {
                     spec_index: i,
                     outcome: done.outcome.clone(),
                     work: done.work,
+                    profile,
                     cached: false,
                 });
             }

@@ -63,6 +63,22 @@ pub enum EventKind {
     Breakpoint,
 }
 
+impl EventKind {
+    /// Stable profiler counter key for this event kind (one per variant),
+    /// used by the dispatch loop's per-event-kind counters.
+    pub fn profile_key(&self) -> &'static str {
+        match self {
+            EventKind::Arrive { .. } => "event.arrive",
+            EventKind::LinkReady { .. } => "event.link_ready",
+            EventKind::Timer { .. } => "event.timer",
+            EventKind::AuxTimer { .. } => "event.aux_timer",
+            EventKind::InstallRoute { .. } => "event.install_route",
+            EventKind::LinkAdmin { .. } => "event.link_admin",
+            EventKind::Breakpoint => "event.breakpoint",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Scheduled {
     at: SimTime,

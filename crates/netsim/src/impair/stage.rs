@@ -229,6 +229,7 @@ impl ImpairPipeline {
                 StageConfig::IidLoss { p } => {
                     if self.rng.gen_bool(p) {
                         stats.iid_losses += 1;
+                        obs::count("impair.iid_loss", 1);
                         return Fate::Dropped;
                     }
                 }
@@ -248,6 +249,7 @@ impl ImpairPipeline {
                     }
                     if lost {
                         stats.burst_losses += 1;
+                        obs::count("impair.burst_loss", 1);
                         return Fate::Dropped;
                     }
                 }
@@ -257,6 +259,7 @@ impl ImpairPipeline {
                         if span > 0 {
                             extra_delay += SimDuration::from_nanos(self.rng.gen_range(0..=span));
                             stats.jittered += 1;
+                            obs::count("impair.jitter_deferral", 1);
                         }
                     }
                 }
@@ -265,12 +268,14 @@ impl ImpairPipeline {
                     if stage.seen % every == 0 {
                         extra_delay += tx.saturating_mul(u64::from(depth));
                         stats.displaced += 1;
+                        obs::count("impair.displaced", 1);
                     }
                 }
                 StageConfig::Duplicate { p } => {
                     if self.rng.gen_bool(p) {
                         duplicate = true;
                         stats.duplicates += 1;
+                        obs::count("impair.duplicate", 1);
                     }
                 }
             }

@@ -91,9 +91,14 @@ impl LinkQueue {
         if accept {
             self.buf.push_back(packet);
             self.enqueues += 1;
+            if obs::enabled() {
+                obs::count("queue.enqueue", 1);
+                obs::observe("queue.depth", self.buf.len() as u64);
+            }
             EnqueueOutcome::Enqueued
         } else {
             self.drops += 1;
+            obs::count("queue.drop", 1);
             EnqueueOutcome::Dropped
         }
     }

@@ -446,7 +446,7 @@ impl Simulator {
             debug_assert!(at >= self.now, "time must not go backwards");
             self.now = at;
             self.stats.events += 1;
-            self.dispatch(kind);
+            self.dispatch_profiled(kind);
         }
         if deadline > self.now {
             self.now = deadline;
@@ -468,9 +468,25 @@ impl Simulator {
         while let Some((at, kind)) = self.events.pop() {
             self.now = at;
             self.stats.events += 1;
-            self.dispatch(kind);
+            self.dispatch_profiled(kind);
         }
         self.now
+    }
+
+    /// Dispatches one event, reporting to the profiler when it is enabled:
+    /// a per-kind counter, the pending-heap depth (sim-deterministic), and
+    /// the wall-clock cost of the dispatch (non-deterministic section).
+    /// Disabled, this is one relaxed atomic load on top of `dispatch`.
+    fn dispatch_profiled(&mut self, kind: EventKind) {
+        if obs::enabled() {
+            obs::count(kind.profile_key(), 1);
+            obs::observe("event.heap_depth", self.events.len() as u64);
+            let t0 = std::time::Instant::now();
+            self.dispatch(kind);
+            obs::observe_wall("event.dispatch_ns", t0.elapsed().as_nanos() as u64);
+        } else {
+            self.dispatch(kind);
+        }
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -553,6 +569,7 @@ impl Simulator {
                     link.up = false;
                     link.impair_stats.flaps += 1;
                     self.stats.link_flaps += 1;
+                    obs::count("link.flap", 1);
                 }
             }
             LinkAdmin::Up => {
@@ -577,6 +594,7 @@ impl Simulator {
         if !self.links[id.index()].up {
             self.links[id.index()].impair_stats.down_drops += 1;
             self.stats.impair_drops += 1;
+            obs::count("impair.down_drop", 1);
             self.trace_packet(&packet, TraceEventKind::ImpairDrop(id));
             return;
         }
@@ -584,6 +602,7 @@ impl Simulator {
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             self.links[id.index()].random_losses += 1;
             self.stats.random_losses += 1;
+            obs::count("link.random_loss", 1);
             self.trace_packet(&packet, TraceEventKind::RandomLoss(id));
             return;
         }
@@ -716,6 +735,7 @@ impl Simulator {
                 let meta = &mut self.agent_meta[id.index()];
                 meta.timer_generation += 1;
                 let fire_at = at.max(self.now);
+                obs::observe("timer.lead_ns", fire_at.saturating_since(self.now).as_nanos());
                 self.events.schedule(
                     fire_at,
                     EventKind::Timer { agent: id, generation: meta.timer_generation },
@@ -728,6 +748,7 @@ impl Simulator {
                 let meta = &mut self.agent_meta[id.index()];
                 meta.aux_timer_generation += 1;
                 let fire_at = at.max(self.now);
+                obs::observe("aux_timer.lead_ns", fire_at.saturating_since(self.now).as_nanos());
                 self.events.schedule(
                     fire_at,
                     EventKind::AuxTimer { agent: id, generation: meta.aux_timer_generation },
@@ -769,6 +790,10 @@ impl Simulator {
 impl Drop for Simulator {
     fn drop(&mut self) {
         self.flush_trace();
+        if obs::enabled() {
+            obs::count("sim.completed", 1);
+            obs::gauge_max("event.heap_peak", self.events.peak_len() as u64);
+        }
         crate::telemetry::session::absorb(
             self.stats.events,
             self.events.peak_len(),
@@ -1256,5 +1281,32 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs_f64(2.0));
         assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn profiler_hooks_record_when_enabled_and_stay_silent_when_disabled() {
+        // Disabled (the default): a full run leaves the registry empty.
+        let _ = obs::take();
+        {
+            let (mut sim, _, _, _, _) = two_node_sim(1);
+            sim.run_until(SimTime::from_secs_f64(1.0));
+        }
+        assert!(obs::take().is_empty(), "disabled profiler must record nothing");
+
+        // Enabled: the same run populates event counters, the heap-depth
+        // histogram and the completion gauge. Other tests run concurrently
+        // under the global flag but never read their thread-local registries,
+        // so the enable/disable bracket is safe.
+        obs::enable();
+        {
+            let (mut sim, _, _, _, _) = two_node_sim(1);
+            sim.run_until(SimTime::from_secs_f64(1.0));
+        }
+        let report = obs::take();
+        obs::disable();
+        assert!(report.counters.get("event.arrive").copied().unwrap_or(0) > 0);
+        assert_eq!(report.counters.get("sim.completed").copied(), Some(1));
+        assert!(report.sim_histograms.get("event.heap_depth").map_or(0, |h| h.total()) > 0);
+        assert!(report.gauges.get("event.heap_peak").copied().unwrap_or(0) > 0);
     }
 }

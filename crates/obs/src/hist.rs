@@ -1,0 +1,161 @@
+//! Log-bucketed histograms.
+//!
+//! Values are binned by bit width: value `0` lands in bucket `0`, and any
+//! other value `v` lands in bucket `64 - v.leading_zeros()` (i.e. bucket `i`
+//! covers `[2^(i-1), 2^i - 1]` for `i >= 1`). Bucketing is therefore
+//! monotone in the value and exact powers of two start a new bucket, which
+//! keeps the layout stable across platforms — no floating point is involved,
+//! so histograms over sim-time quantities are byte-reproducible.
+
+use serde::{Serialize, Value};
+
+/// Number of buckets: one for zero plus one per possible bit width of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-shape log-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Minimum recorded sample (meaningless when `count == 0`).
+    pub min: u64,
+    /// Maximum recorded sample.
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+/// Bucket index for `value`: 0 for 0, else the bit width of `value`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of bucket `index` (inclusive).
+pub fn bucket_lo(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1 => 1,
+        i => 1u64 << (i - 1),
+    }
+}
+
+impl LogHistogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn absorb(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *ob;
+        }
+    }
+
+    /// Count held by bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Sum of all bucket counts (equals `count` by construction).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> Value {
+        // Only non-empty buckets are emitted, keyed by their lower bound, so
+        // the JSON stays compact and the layout is insertion-ordered by
+        // ascending bucket (deterministic).
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                Value::Object(vec![
+                    ("lo".to_owned(), Value::UInt(bucket_lo(i))),
+                    ("count".to_owned(), Value::UInt(*c)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".to_owned(), Value::UInt(self.count)),
+            ("sum".to_owned(), Value::UInt(self.sum)),
+            ("min".to_owned(), Value::UInt(if self.count == 0 { 0 } else { self.min })),
+            ("max".to_owned(), Value::UInt(self.max)),
+            ("buckets".to_owned(), Value::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 7, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1032);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn absorb_adds_bucketwise() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        a.absorb(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.bucket_count(bucket_index(5)), 2);
+        assert_eq!(a.bucket_count(bucket_index(100)), 1);
+        assert_eq!(a.total(), a.count);
+    }
+}

@@ -1,0 +1,70 @@
+//! Structured span records for sender state machines.
+//!
+//! A span is a typed point-in-sim-time record of a state-machine decision —
+//! a TCP-PR timer verdict, a CUBIC epoch reset, a BBR gain-state transition,
+//! a pacer release batch. Spans carry the sim-time in nanoseconds, a stable
+//! `kind` key, and a short human-readable detail string, and render to the
+//! same one-record-per-line JSONL shape as the `netsim::trace` sinks.
+
+use serde::{Serialize, Value};
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Sim time of the decision, in nanoseconds since scenario start.
+    pub at_ns: u64,
+    /// Stable dotted kind key, e.g. `"tcppr.backoff"` or `"bbr.state"`.
+    pub kind: &'static str,
+    /// Short detail payload, e.g. `"Startup->Drain"`.
+    pub detail: String,
+}
+
+impl SpanRecord {
+    /// Renders the span as a single JSONL line compatible with the trace
+    /// sinks: `{"span":"<kind>","at_ns":<t>,"detail":"<detail>"}`.
+    pub fn jsonl_line(&self) -> String {
+        format!(
+            "{{\"span\":\"{}\",\"at_ns\":{},\"detail\":\"{}\"}}",
+            self.kind,
+            self.at_ns,
+            escape(&self.detail)
+        )
+    }
+}
+
+impl Serialize for SpanRecord {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("at_ns".to_owned(), Value::UInt(self.at_ns)),
+            ("kind".to_owned(), Value::Str(self.kind.to_owned())),
+            ("detail".to_owned(), Value::Str(self.detail.clone())),
+        ])
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_line_is_one_escaped_line() {
+        let s = SpanRecord { at_ns: 42, kind: "tcppr.backoff", detail: "mxrtt\"x\"".to_owned() };
+        let line = s.jsonl_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(line, "{\"span\":\"tcppr.backoff\",\"at_ns\":42,\"detail\":\"mxrtt\\\"x\\\"\"}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests for the log-bucketed histogram (satellite: bucketing is
+//! monotone and total-preserving).
+
+use obs::{bucket_index, bucket_lo, LogHistogram, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucketing is monotone: a larger value never lands in a smaller bucket.
+    #[test]
+    fn bucketing_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Every value lands in the bucket whose lower bound brackets it.
+    #[test]
+    fn value_brackets_its_bucket(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lo(i) <= v);
+        if i + 1 < BUCKETS {
+            prop_assert!(v < bucket_lo(i + 1));
+        }
+    }
+
+    /// Recording N samples leaves exactly N across the buckets (no sample is
+    /// lost or double-counted), and absorb preserves the combined total.
+    #[test]
+    fn totals_are_preserved(xs in proptest::collection::vec(0u64..u64::MAX, 0..200),
+                            ys in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+        let mut hx = LogHistogram::default();
+        for &x in &xs {
+            hx.record(x);
+        }
+        prop_assert_eq!(hx.count, xs.len() as u64);
+        prop_assert_eq!(hx.total(), xs.len() as u64);
+
+        let mut hy = LogHistogram::default();
+        for &y in &ys {
+            hy.record(y);
+        }
+        hx.absorb(&hy);
+        prop_assert_eq!(hx.total(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(hx.count, hx.total());
+    }
+}

@@ -153,7 +153,15 @@ impl<S: TcpSenderAlgo> SenderHost<S> {
     /// Releases every paced segment now due and re-arms the auxiliary timer
     /// for the next release instant, if any segment is still waiting.
     fn release_paced(&mut self, ctx: &mut AgentCtx<'_>, rate: f64) {
-        for t in self.pacer.release_due(ctx.now, rate) {
+        let due = self.pacer.release_due(ctx.now, rate);
+        if !due.is_empty() && obs::enabled() {
+            obs::count("pacer.released", due.len() as u64);
+            obs::observe("pacer.batch", due.len() as u64);
+            obs::span(ctx.now.as_nanos(), "pacer.release", || {
+                format!("batch={} rate_sps={:.0}", due.len(), rate)
+            });
+        }
+        for t in due {
             self.stats.paced_segments += 1;
             self.send_segment(ctx, t);
         }

@@ -57,6 +57,10 @@ impl Pacer {
     /// Queues a transmission behind everything already waiting.
     pub fn enqueue(&mut self, t: Transmission) {
         self.queue.push_back(t);
+        if obs::enabled() {
+            obs::count("pacer.enqueued", 1);
+            obs::observe("pacer.depth", self.queue.len() as u64);
+        }
     }
 
     /// Number of transmissions waiting for release.
@@ -93,6 +97,7 @@ impl Pacer {
     /// Releases everything immediately, ignoring the schedule (used when an
     /// algorithm stops requesting pacing mid-flow).
     pub fn drain(&mut self) -> Vec<Transmission> {
+        obs::count("pacer.drained", self.queue.len() as u64);
         self.released += self.queue.len() as u64;
         self.queue.drain(..).collect()
     }
