@@ -1,0 +1,145 @@
+//! Delta-debugging-style shrinking of a failing candidate.
+//!
+//! Given a candidate known to fail (e.g. "goodput below half of baseline"),
+//! [`shrink`] repeatedly asks the caller for simplification steps, keeps the
+//! first one that still fails, and stops when no step does. Every proposed
+//! step must be *strictly smaller* under the caller's size measure — the
+//! loop asserts this, which is what guarantees termination.
+
+/// Result of a [`shrink`] run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome<C> {
+    /// The smallest candidate found that still fails.
+    pub minimal: C,
+    /// Rounds executed (one batch of steps per round).
+    pub rounds: u32,
+    /// Sizes of the accepted chain, starting with the initial candidate.
+    /// Strictly decreasing by construction.
+    pub trajectory: Vec<u64>,
+    /// Total predicate evaluations spent.
+    pub evaluations: u64,
+}
+
+/// Reduces `start` (which the caller asserts is failing) to a locally
+/// minimal failing candidate.
+///
+/// Each round calls `steps` on the incumbent to propose simplifications —
+/// every one strictly smaller under `size` — evaluates the whole batch with
+/// `failing` (one verdict per step, in order; parallelizable by the caller),
+/// and adopts the *first* still-failing step. A round with no proposals or
+/// no failing proposal ends the search. Like the hill climber, the
+/// trajectory depends only on the proposals and their ordered verdicts, not
+/// on evaluation scheduling.
+pub fn shrink<C: Clone>(
+    start: C,
+    size: impl Fn(&C) -> u64,
+    steps: impl Fn(&C) -> Vec<C>,
+    mut failing: impl FnMut(&[C]) -> Vec<bool>,
+) -> ShrinkOutcome<C> {
+    let mut current = start;
+    let mut current_size = size(&current);
+    let mut trajectory = vec![current_size];
+    let mut rounds = 0u32;
+    let mut evaluations = 0u64;
+
+    loop {
+        let candidates = steps(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for c in &candidates {
+            assert!(
+                size(c) < current_size,
+                "shrink step must strictly decrease size ({} -> {})",
+                current_size,
+                size(c)
+            );
+        }
+        let verdicts = failing(&candidates);
+        assert_eq!(
+            verdicts.len(),
+            candidates.len(),
+            "failing must return one verdict per candidate"
+        );
+        evaluations += candidates.len() as u64;
+        match verdicts.iter().position(|&v| v) {
+            Some(i) => {
+                current = candidates[i].clone();
+                current_size = size(&current);
+                trajectory.push(current_size);
+            }
+            None => break,
+        }
+    }
+
+    ShrinkOutcome { minimal: current, rounds, trajectory, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steps for a `Vec<u32>`: drop each element, then halve each non-zero
+    /// element. All strictly reduce `sum(len + elements)`.
+    #[allow(clippy::ptr_arg)] // matches shrink's `Fn(&C)` with C = Vec<u32>
+    fn vec_steps(v: &Vec<u32>) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        for i in 0..v.len() {
+            let mut w = v.clone();
+            w.remove(i);
+            out.push(w);
+        }
+        for i in 0..v.len() {
+            if v[i] > 0 {
+                let mut w = v.clone();
+                w[i] /= 2;
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn vec_size(v: &Vec<u32>) -> u64 {
+        v.len() as u64 + v.iter().map(|&x| x as u64).sum::<u64>()
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_failing_vector() {
+        // Failing = contains at least one element >= 10.
+        let start = vec![3, 17, 4, 25, 9];
+        let out = shrink(start, vec_size, vec_steps, |cs| {
+            cs.iter().map(|c| c.iter().any(|&x| x >= 10)).collect()
+        });
+        // Minimal: a single element that any halving would push below 10.
+        assert_eq!(out.minimal.len(), 1);
+        assert!(out.minimal[0] >= 10 && out.minimal[0] < 20, "{:?}", out.minimal);
+        assert!(out.trajectory.windows(2).all(|w| w[1] < w[0]), "{:?}", out.trajectory);
+    }
+
+    #[test]
+    fn stops_immediately_when_nothing_shrinks() {
+        let out =
+            shrink(Vec::<u32>::new(), vec_size, vec_steps, |cs| cs.iter().map(|_| true).collect());
+        assert!(out.minimal.is_empty());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.evaluations, 0);
+        assert_eq!(out.trajectory, vec![0]);
+    }
+
+    #[test]
+    fn keeps_the_start_when_every_step_passes() {
+        let start = vec![12, 3];
+        let out =
+            shrink(start.clone(), vec_size, vec_steps, |cs| cs.iter().map(|_| false).collect());
+        assert_eq!(out.minimal, start);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn non_decreasing_steps_are_rejected() {
+        shrink(vec![5u32], vec_size, |v| vec![v.clone()], |cs| cs.iter().map(|_| true).collect());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the delta-debugging shrinker: every accepted step
+//! preserves the failing verdict, and shrinking terminates because the size
+//! measure strictly decreases along the accepted chain.
+
+use adversary::shrink::shrink;
+use proptest::prelude::*;
+
+/// Simplification steps over a `Vec<u32>`: drop each element, halve each
+/// non-zero element. Each strictly decreases `len + sum`.
+#[allow(clippy::ptr_arg)] // matches shrink's `Fn(&C)` with C = Vec<u32>
+fn steps(v: &Vec<u32>) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for i in 0..v.len() {
+        let mut w = v.clone();
+        w.remove(i);
+        out.push(w);
+    }
+    for i in 0..v.len() {
+        if v[i] > 0 {
+            let mut w = v.clone();
+            w[i] /= 2;
+            out.push(w);
+        }
+    }
+    out
+}
+
+#[allow(clippy::ptr_arg)]
+fn size(v: &Vec<u32>) -> u64 {
+    v.len() as u64 + v.iter().map(|&x| x as u64).sum::<u64>()
+}
+
+proptest! {
+    #[test]
+    fn every_step_preserves_the_failing_verdict(
+        v in collection::vec(0u32..200, 1..12),
+        threshold in 1u32..150,
+    ) {
+        let fails = |c: &Vec<u32>| c.iter().sum::<u32>() >= threshold;
+        if !fails(&v) {
+            // Only failing starts are meaningful to shrink.
+            return Ok(());
+        }
+        // Record every candidate the shrinker *accepts* so we can check the
+        // verdict held at each step, not just at the end.
+        let mut accepted: Vec<Vec<u32>> = Vec::new();
+        let out = shrink(v.clone(), size, steps, |cs| {
+            let verdicts: Vec<bool> = cs.iter().map(&fails).collect();
+            if let Some(i) = verdicts.iter().position(|&b| b) {
+                accepted.push(cs[i].clone());
+            }
+            verdicts
+        });
+        prop_assert!(fails(&out.minimal), "minimal must still fail: {:?}", out.minimal);
+        for step in &accepted {
+            prop_assert!(fails(step), "accepted step regressed: {:?}", step);
+        }
+    }
+
+    #[test]
+    fn size_strictly_decreases_so_shrinking_terminates(
+        v in collection::vec(0u32..200, 1..12),
+        threshold in 1u32..150,
+    ) {
+        let fails = |c: &Vec<u32>| c.iter().sum::<u32>() >= threshold;
+        if !fails(&v) {
+            return Ok(());
+        }
+        let out = shrink(v.clone(), size, steps, |cs| cs.iter().map(&fails).collect());
+        prop_assert_eq!(*out.trajectory.first().unwrap(), size(&v));
+        prop_assert!(
+            out.trajectory.windows(2).all(|w| w[1] < w[0]),
+            "trajectory not strictly decreasing: {:?}",
+            out.trajectory
+        );
+        // Strict decrease on a non-negative integer measure bounds the
+        // number of accepted steps by the starting size.
+        prop_assert!(out.trajectory.len() as u64 <= size(&v) + 1);
+        prop_assert!(size(&out.minimal) <= size(&v));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic(
+        v in collection::vec(0u32..200, 1..12),
+        threshold in 1u32..150,
+    ) {
+        let fails = |c: &Vec<u32>| c.iter().sum::<u32>() >= threshold;
+        if !fails(&v) {
+            return Ok(());
+        }
+        let a = shrink(v.clone(), size, steps, |cs| cs.iter().map(&fails).collect());
+        let b = shrink(v.clone(), size, steps, |cs| cs.iter().map(&fails).collect());
+        prop_assert_eq!(a.minimal, b.minimal);
+        prop_assert_eq!(a.trajectory, b.trajectory);
+    }
+}

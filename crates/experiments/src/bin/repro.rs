@@ -25,7 +25,7 @@
 //! quick sweep, writes the latest run to `results/bench_sweep.json`, and
 //! appends it to the top-level `BENCH_sweep.json` perf trajectory.
 //!
-//! Two further commands run *instead of* the figure grids:
+//! Three further commands run *instead of* the figure grids:
 //!
 //! - `repro profile [selector…]` re-runs the named grids (default `fig6`)
 //!   with the `obs` profiler enabled and writes `results/profile.json` —
@@ -33,21 +33,31 @@
 //!   state-machine spans in a deterministic section, wall-clock dispatch
 //!   cost in a clearly marked non-deterministic section. Profile runs
 //!   bypass the sweep cache (a cache hit executes nothing to profile).
-//! - `repro bench-check [--trajectory <path>] [--threshold-pct <pct>]`
-//!   compares the last two entries of the perf trajectory and exits
-//!   non-zero when serial events/sec regressed more than the threshold
-//!   (default 20%).
+//! - `repro bench-check [--trajectory <path>] [--threshold-pct <pct>]
+//!   [--min-entries <n>]` compares the last two entries of the perf
+//!   trajectory and exits non-zero when serial events/sec regressed more
+//!   than the threshold (default 20%); below `--min-entries` entries the
+//!   gate passes without comparing.
+//! - `repro hunt [--budget <evals>] [--objective goodput|fairness|oracle]
+//!   [--variant <name>] [--seed <n>] [--jobs N]` runs the adversarial
+//!   schedule search ([`experiments::hunt`]): seeded hill-climbing over
+//!   impairment pipelines and link-admin windows minimizing the chosen
+//!   objective, followed by delta-debugging shrinking of any counterexample
+//!   found. Writes `results/hunt.json` plus a replayable minimal spec under
+//!   `results/counterexamples/` — all byte-identical at any `--jobs`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use experiments::bench;
+use experiments::hunt;
 use experiments::sweep::grids::{all_figures, selectors, FigureGrid};
 use experiments::sweep::{
     run_sweep, CachePolicy, ExecCtx, RunOutcome, SweepOptions, DEFAULT_CACHE_DIR,
 };
 use experiments::telemetry::{artifact_json, warn_if_dropped};
+use experiments::variants::Variant;
 use netsim::telemetry::SessionStats;
 use serde::Value;
 
@@ -60,6 +70,11 @@ struct Cli {
     no_cache: bool,
     trajectory: Option<PathBuf>,
     threshold_pct: f64,
+    min_entries: usize,
+    budget: u64,
+    seed: u64,
+    objective: String,
+    hunt_variant: String,
 }
 
 fn default_jobs() -> usize {
@@ -76,6 +91,11 @@ fn parse_args() -> Cli {
         no_cache: false,
         trajectory: None,
         threshold_pct: experiments::bench::DEFAULT_THRESHOLD_PCT,
+        min_entries: 2,
+        budget: 200,
+        seed: 1,
+        objective: "goodput".to_owned(),
+        hunt_variant: "TcpPr".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,6 +135,41 @@ fn parse_args() -> Cli {
                     exit(2);
                 }
             },
+            "--min-entries" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => cli.min_entries = n,
+                None => {
+                    eprintln!("error: --min-entries needs a count");
+                    exit(2);
+                }
+            },
+            "--budget" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cli.budget = n,
+                _ => {
+                    eprintln!("error: --budget needs an evaluation count >= 1");
+                    exit(2);
+                }
+            },
+            "--seed" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => cli.seed = n,
+                None => {
+                    eprintln!("error: --seed needs an integer");
+                    exit(2);
+                }
+            },
+            "--objective" => match args.next() {
+                Some(name) => cli.objective = name,
+                None => {
+                    eprintln!("error: --objective needs goodput|fairness|oracle");
+                    exit(2);
+                }
+            },
+            "--variant" => match args.next() {
+                Some(name) => cli.hunt_variant = name,
+                None => {
+                    eprintln!("error: --variant needs a protocol name");
+                    exit(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}");
                 exit(2);
@@ -131,6 +186,7 @@ fn parse_args() -> Cli {
             && w != "bench-sweep"
             && w != "profile"
             && w != "bench-check"
+            && w != "hunt"
             && !selectors().contains(&w.as_str())
         {
             eprintln!("error: unknown selector {w}");
@@ -161,6 +217,7 @@ fn print_listing() {
     println!(" {:<15} every selector marked *", "all");
     println!(" {:<15} profiled re-run of the named grids -> results/profile.json", "profile");
     println!(" {:<15} perf-regression gate over BENCH_sweep.json", "bench-check");
+    println!(" {:<15} adversarial schedule search -> results/hunt.json", "hunt");
 }
 
 /// `fs::create_dir_all` with an error message naming the offending path.
@@ -397,6 +454,16 @@ fn run_bench_check(cli: &Cli) -> i32 {
             return 1;
         }
     };
+    if entries.len() < cli.min_entries {
+        println!(
+            "bench-check: {} has {} entr{}; below --min-entries {} — pass",
+            path.display(),
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+            cli.min_entries
+        );
+        return 0;
+    }
     match bench::check(&entries) {
         Ok(None) => {
             println!(
@@ -434,13 +501,78 @@ fn run_bench_check(cli: &Cli) -> i32 {
     }
 }
 
+/// `repro hunt`: the adversarial search. Returns the process exit code.
+/// Finding a counterexample is a *successful* hunt, not an error — the
+/// exit code reflects infrastructure failures only.
+fn run_hunt(cli: &Cli) -> i32 {
+    let variant = match Variant::from_name(&cli.hunt_variant)
+        .or_else(|| Variant::ALL.into_iter().find(|v| v.label() == cli.hunt_variant))
+    {
+        Some(v) => v,
+        None => {
+            eprintln!("error: hunt: unknown variant {:?}", cli.hunt_variant);
+            return 2;
+        }
+    };
+    let objective = match hunt::Objective::from_name(&cli.objective) {
+        Some(o) => o,
+        None => {
+            eprintln!("error: hunt: --objective must be goodput|fairness|oracle");
+            return 2;
+        }
+    };
+    let cfg =
+        hunt::HuntConfig { variant, objective, budget: cli.budget, seed: cli.seed, jobs: cli.jobs };
+    eprintln!(
+        "[hunt] {} objective={} budget={} seed={} ({} workers)",
+        variant.label(),
+        objective.name(),
+        cfg.budget,
+        cfg.seed,
+        cfg.jobs
+    );
+    match hunt::run_hunt(&cfg) {
+        Ok(report) => {
+            println!(
+                "hunt: baseline {:.4}, threshold {:.4}, best {:.4} after {} evaluations ({} memoized)",
+                report.baseline_value,
+                report.threshold,
+                report.best_value,
+                report.evaluations,
+                report.memo_hits
+            );
+            match (&report.counterexample, &report.minimal) {
+                (Some(path), Some(minimal)) => {
+                    println!(
+                        "hunt: counterexample found, shrunk to size {} -> {}",
+                        minimal.size(),
+                        path.display()
+                    );
+                }
+                _ => println!("hunt: no counterexample within budget"),
+            }
+            eprintln!("[hunt] artifact -> results/hunt.json");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: hunt: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let cli = parse_args();
 
-    // Standalone commands: the regression gate needs no sweep at all, and
-    // `profile` consumes the remaining selectors as its grid list.
+    // Standalone commands: the regression gate needs no sweep at all,
+    // `hunt` drives its own search loop, and `profile` consumes the
+    // remaining selectors as its grid list.
     if cli.which.iter().any(|w| w == "bench-check") {
         exit(run_bench_check(&cli));
+    }
+    if cli.which.iter().any(|w| w == "hunt") {
+        create_dir_or_exit(Path::new("results"), "results");
+        exit(run_hunt(&cli));
     }
     if cli.which.iter().any(|w| w == "profile") {
         create_dir_or_exit(Path::new("results"), "results");

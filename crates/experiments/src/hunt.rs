@@ -1,0 +1,1214 @@
+//! Adversarial hunt: a deterministic search for worst-case impairment and
+//! admin schedules.
+//!
+//! The stress suite samples seven *fixed* impairment profiles; the hunt
+//! instead **searches** the space they live in. A seeded hill climber
+//! (`adversary::search`) mutates a [`Candidate`] — a pipeline of
+//! [`ImpairmentSpec`] stages plus a list of one-shot [`AdminWindowSpec`]
+//! outage/delay windows — minimizing a pluggable [`Objective`]: the hunted
+//! variant's goodput, Jain fairness against a SACK rival, or the sim-core
+//! invariant oracle (`netsim::oracle`). A found counterexample is then
+//! reduced by delta-debugging (`adversary::shrink`) to a minimal candidate
+//! that still fails, and pinned to disk as a replayable spec.
+//!
+//! ## Determinism contract
+//!
+//! `repro hunt --budget B --seed S` produces byte-identical
+//! `results/hunt.json` and counterexample files at any `--jobs` count:
+//!
+//! - candidate generations are drawn from one seeded RNG *before*
+//!   evaluation, so RNG consumption never depends on completion order;
+//! - batches evaluate through the sweep pool, which returns outcomes in
+//!   spec order regardless of worker count;
+//! - each cell's sim seed derives from its spec's content hash, and
+//!   repeated candidates are memoized by that same hash, so re-visiting a
+//!   schedule is free and cannot re-randomize anything.
+//!
+//! All candidate parameters live on a coarse grid (probabilities in
+//! [`PROB_STEP`] units, times in [`MS_STEP`] units), which makes the memo
+//! table effective and gives the shrinker an integer size measure.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use adversary::search::{hill_climb, GenerationRecord, SearchConfig};
+use adversary::shrink::{shrink, ShrinkOutcome};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::Value;
+
+use netsim::impair::{AdminEntry, LinkAdmin};
+use netsim::time::{SimDuration, SimTime};
+use transport::host::{attach_flow, receiver_host, sender_host, FlowOptions};
+use transport::sender::TcpSenderAlgo;
+
+use crate::metrics::{jain_fairness, mbps};
+use crate::runner::MeasurePlan;
+use crate::stress::{self, StressConfig};
+use crate::sweep::spec::AdminWindowSpec;
+use crate::sweep::{
+    run_sweep, CachePolicy, ExecCtx, ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec,
+    SweepOptions,
+};
+use crate::topologies::dumbbell;
+use crate::variants::Variant;
+
+/// Probability quantum: every mutated probability is a multiple of this.
+pub const PROB_STEP: f64 = 0.005;
+/// Time quantum, ms: every mutated instant/duration is a multiple of this.
+pub const MS_STEP: u64 = 10;
+/// Simulated horizon of one hunt cell, ms (`MeasurePlan::smoke()` total).
+pub const HORIZON_MS: u64 = 4_000;
+
+const MAX_STAGES: usize = 3;
+const MAX_WINDOWS: usize = 3;
+
+fn qprob(p: f64) -> u64 {
+    (p / PROB_STEP).round() as u64
+}
+
+fn prob_of(units: u64) -> f64 {
+    units as f64 * PROB_STEP
+}
+
+// ---------------------------------------------------------------------------
+// Candidate space
+// ---------------------------------------------------------------------------
+
+/// One point of the adversary's search space: an impairment pipeline plus
+/// one-shot admin windows, both applied to the hunt dumbbell's bottleneck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Per-packet impairment stages, in pipeline order.
+    pub impairments: Vec<ImpairmentSpec>,
+    /// One-shot outage/delay windows, the schedule dimension.
+    pub schedule: Vec<AdminWindowSpec>,
+}
+
+impl Candidate {
+    /// The empty (baseline) candidate.
+    pub fn baseline() -> Self {
+        Candidate { impairments: Vec::new(), schedule: Vec::new() }
+    }
+
+    /// The shrinker's size measure: one unit per entry plus the quantized
+    /// magnitude of each *intensity* parameter (placement instants are
+    /// excluded — shrinking must weaken a counterexample, not relocate it).
+    pub fn size(&self) -> u64 {
+        let imp = |i: &ImpairmentSpec| {
+            1 + match *i {
+                ImpairmentSpec::IidLoss { p } => qprob(p),
+                ImpairmentSpec::BurstLoss { p_good_to_bad, loss_bad, .. } => {
+                    qprob(p_good_to_bad) + qprob(loss_bad)
+                }
+                ImpairmentSpec::Jitter { prob, max_extra_ms } => {
+                    qprob(prob) + max_extra_ms / MS_STEP
+                }
+                ImpairmentSpec::Displace { depth, .. } => u64::from(depth),
+                ImpairmentSpec::Duplicate { p } => qprob(p),
+                ImpairmentSpec::Flap { down_ms, .. } => down_ms / MS_STEP,
+                ImpairmentSpec::BandwidthOscillation { period_ms, .. } => period_ms / MS_STEP,
+                ImpairmentSpec::DelayOscillation { high_delay_ms, .. } => high_delay_ms / MS_STEP,
+            }
+        };
+        let win = |w: &AdminWindowSpec| {
+            1 + match *w {
+                AdminWindowSpec::Down { dur_ms, .. } => dur_ms / MS_STEP,
+                AdminWindowSpec::Delay { dur_ms, delay_ms, .. } => {
+                    dur_ms / MS_STEP + delay_ms / MS_STEP
+                }
+            }
+        };
+        self.impairments.iter().map(imp).sum::<u64>() + self.schedule.iter().map(win).sum::<u64>()
+    }
+
+    /// Human profile string: stage and window tags joined, or `baseline`.
+    pub fn profile(&self) -> String {
+        let mut parts: Vec<&str> = self.impairments.iter().map(ImpairmentSpec::tag).collect();
+        parts.extend(self.schedule.iter().map(AdminWindowSpec::tag));
+        if parts.is_empty() {
+            "baseline".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+fn random_impairment(rng: &mut SmallRng) -> ImpairmentSpec {
+    match rng.gen_range(0u32..6) {
+        0 => ImpairmentSpec::IidLoss { p: prob_of(rng.gen_range(1u64..=12)) },
+        1 => ImpairmentSpec::BurstLoss {
+            p_good_to_bad: prob_of(rng.gen_range(1u64..=10)),
+            p_bad_to_good: prob_of(rng.gen_range(10u64..=100)),
+            loss_bad: prob_of(rng.gen_range(100u64..=200)),
+        },
+        2 => ImpairmentSpec::Jitter {
+            prob: prob_of(rng.gen_range(20u64..=120)),
+            max_extra_ms: MS_STEP * rng.gen_range(1u64..=8),
+        },
+        3 => ImpairmentSpec::Displace {
+            every: rng.gen_range(5u64..=40),
+            depth: rng.gen_range(2u32..=8),
+        },
+        4 => ImpairmentSpec::Duplicate { p: prob_of(rng.gen_range(1u64..=10)) },
+        _ => {
+            let period_ms = MS_STEP * rng.gen_range(50u64..=300);
+            // Downtime stays inside the cycle.
+            let down_ms = MS_STEP * rng.gen_range(1u64..=(period_ms / MS_STEP / 2).max(1));
+            ImpairmentSpec::Flap { period_ms, down_ms }
+        }
+    }
+}
+
+fn random_window(rng: &mut SmallRng) -> AdminWindowSpec {
+    if rng.gen_bool(0.5) {
+        let dur_ms = MS_STEP * rng.gen_range(5u64..=40);
+        let at_ms = MS_STEP * rng.gen_range(0u64..=(HORIZON_MS - dur_ms) / MS_STEP);
+        AdminWindowSpec::Down { at_ms, dur_ms }
+    } else {
+        let dur_ms = MS_STEP * rng.gen_range(10u64..=60);
+        let at_ms = MS_STEP * rng.gen_range(0u64..=(HORIZON_MS - dur_ms) / MS_STEP);
+        AdminWindowSpec::Delay { at_ms, dur_ms, delay_ms: MS_STEP * rng.gen_range(5u64..=20) }
+    }
+}
+
+/// Scales a quantized intensity up or down one octave, within `[1, cap]`.
+fn scale(units: u64, up: bool, cap: u64) -> u64 {
+    if up {
+        (units * 2).min(cap)
+    } else {
+        (units / 2).max(1)
+    }
+}
+
+fn tweak_impairment(i: &ImpairmentSpec, rng: &mut SmallRng) -> ImpairmentSpec {
+    let up = rng.gen_bool(0.5);
+    match *i {
+        ImpairmentSpec::IidLoss { p } => {
+            ImpairmentSpec::IidLoss { p: prob_of(scale(qprob(p), up, 40)) }
+        }
+        ImpairmentSpec::BurstLoss { p_good_to_bad, p_bad_to_good, loss_bad } => {
+            match rng.gen_range(0u32..3) {
+                0 => ImpairmentSpec::BurstLoss {
+                    p_good_to_bad: prob_of(scale(qprob(p_good_to_bad), up, 40)),
+                    p_bad_to_good,
+                    loss_bad,
+                },
+                1 => ImpairmentSpec::BurstLoss {
+                    p_good_to_bad,
+                    p_bad_to_good: prob_of(scale(qprob(p_bad_to_good), up, 200)),
+                    loss_bad,
+                },
+                _ => ImpairmentSpec::BurstLoss {
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_bad: prob_of(scale(qprob(loss_bad), up, 200)),
+                },
+            }
+        }
+        ImpairmentSpec::Jitter { prob, max_extra_ms } => {
+            if rng.gen_bool(0.5) {
+                ImpairmentSpec::Jitter { prob: prob_of(scale(qprob(prob), up, 200)), max_extra_ms }
+            } else {
+                ImpairmentSpec::Jitter {
+                    prob,
+                    max_extra_ms: MS_STEP * scale(max_extra_ms / MS_STEP, up, 16),
+                }
+            }
+        }
+        ImpairmentSpec::Displace { every, depth } => {
+            if rng.gen_bool(0.5) {
+                ImpairmentSpec::Displace { every: scale(every, up, 64).max(2), depth }
+            } else {
+                ImpairmentSpec::Displace { every, depth: scale(u64::from(depth), up, 16) as u32 }
+            }
+        }
+        ImpairmentSpec::Duplicate { p } => {
+            ImpairmentSpec::Duplicate { p: prob_of(scale(qprob(p), up, 40)) }
+        }
+        ImpairmentSpec::Flap { period_ms, down_ms } => {
+            let down = MS_STEP * scale(down_ms / MS_STEP, up, period_ms / MS_STEP / 2);
+            ImpairmentSpec::Flap { period_ms, down_ms: down.max(MS_STEP) }
+        }
+        // The mutator never generates oscillations (the stress grid covers
+        // them); re-roll into a fresh stage instead.
+        ImpairmentSpec::BandwidthOscillation { .. } | ImpairmentSpec::DelayOscillation { .. } => {
+            random_impairment(rng)
+        }
+    }
+}
+
+fn tweak_window(w: &AdminWindowSpec, rng: &mut SmallRng) -> AdminWindowSpec {
+    let up = rng.gen_bool(0.5);
+    let shift = |at_ms: u64, dur_ms: u64, rng: &mut SmallRng| {
+        let delta = MS_STEP * rng.gen_range(1u64..=50);
+        let limit = HORIZON_MS.saturating_sub(dur_ms);
+        if rng.gen_bool(0.5) {
+            (at_ms + delta).min(limit)
+        } else {
+            at_ms.saturating_sub(delta)
+        }
+    };
+    match *w {
+        AdminWindowSpec::Down { at_ms, dur_ms } => {
+            if rng.gen_bool(0.5) {
+                AdminWindowSpec::Down { at_ms: shift(at_ms, dur_ms, rng), dur_ms }
+            } else {
+                AdminWindowSpec::Down { at_ms, dur_ms: MS_STEP * scale(dur_ms / MS_STEP, up, 100) }
+            }
+        }
+        AdminWindowSpec::Delay { at_ms, dur_ms, delay_ms } => match rng.gen_range(0u32..3) {
+            0 => AdminWindowSpec::Delay { at_ms: shift(at_ms, dur_ms, rng), dur_ms, delay_ms },
+            1 => AdminWindowSpec::Delay {
+                at_ms,
+                dur_ms: MS_STEP * scale(dur_ms / MS_STEP, up, 100),
+                delay_ms,
+            },
+            _ => AdminWindowSpec::Delay {
+                at_ms,
+                dur_ms,
+                delay_ms: MS_STEP * scale(delay_ms / MS_STEP, up, 40),
+            },
+        },
+    }
+}
+
+/// One mutation move: add/remove/tweak an impairment stage or an admin
+/// window. Pure function of `(c, rng)` — all placement and intensity values
+/// stay on the quantization grid.
+pub fn mutate(c: &Candidate, rng: &mut SmallRng) -> Candidate {
+    let mut next = c.clone();
+    match rng.gen_range(0u32..6) {
+        0 if next.impairments.len() < MAX_STAGES => {
+            next.impairments.push(random_impairment(rng));
+        }
+        1 if !next.impairments.is_empty() => {
+            let i = rng.gen_range(0..next.impairments.len());
+            next.impairments.remove(i);
+        }
+        2 if !next.impairments.is_empty() => {
+            let i = rng.gen_range(0..next.impairments.len());
+            next.impairments[i] = tweak_impairment(&next.impairments[i], rng);
+        }
+        3 if next.schedule.len() < MAX_WINDOWS => {
+            next.schedule.push(random_window(rng));
+        }
+        4 if !next.schedule.is_empty() => {
+            let i = rng.gen_range(0..next.schedule.len());
+            next.schedule.remove(i);
+        }
+        5 if !next.schedule.is_empty() => {
+            let i = rng.gen_range(0..next.schedule.len());
+            next.schedule[i] = tweak_window(&next.schedule[i], rng);
+        }
+        // The rolled move is inapplicable (empty/full list): grow whichever
+        // dimension has room so mutation never no-ops.
+        _ => {
+            if next.impairments.len() < MAX_STAGES {
+                next.impairments.push(random_impairment(rng));
+            } else if next.schedule.len() < MAX_WINDOWS {
+                next.schedule.push(random_window(rng));
+            } else {
+                let i = rng.gen_range(0..next.impairments.len());
+                next.impairments[i] = tweak_impairment(&next.impairments[i], rng);
+            }
+        }
+    }
+    next
+}
+
+/// The shrinker's proposal set: remove each entry, then halve each intensity
+/// parameter (in quantized units). Every proposal strictly decreases
+/// [`Candidate::size`].
+pub fn shrink_steps(c: &Candidate) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for i in 0..c.impairments.len() {
+        let mut s = c.clone();
+        s.impairments.remove(i);
+        out.push(s);
+    }
+    for i in 0..c.schedule.len() {
+        let mut s = c.clone();
+        s.schedule.remove(i);
+        out.push(s);
+    }
+    for (i, imp) in c.impairments.iter().enumerate() {
+        for weakened in weakened_impairments(imp) {
+            let mut s = c.clone();
+            s.impairments[i] = weakened;
+            out.push(s);
+        }
+    }
+    for (i, w) in c.schedule.iter().enumerate() {
+        for weakened in weakened_windows(w) {
+            let mut s = c.clone();
+            s.schedule[i] = weakened;
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Halves one quantized unit count; `None` when halving would floor at 0 or
+/// not strictly decrease.
+fn halved(units: u64) -> Option<u64> {
+    if units >= 2 {
+        Some(units / 2)
+    } else {
+        None
+    }
+}
+
+fn weakened_impairments(i: &ImpairmentSpec) -> Vec<ImpairmentSpec> {
+    let mut out = Vec::new();
+    match *i {
+        ImpairmentSpec::IidLoss { p } => {
+            if let Some(u) = halved(qprob(p)) {
+                out.push(ImpairmentSpec::IidLoss { p: prob_of(u) });
+            }
+        }
+        ImpairmentSpec::BurstLoss { p_good_to_bad, p_bad_to_good, loss_bad } => {
+            if let Some(u) = halved(qprob(p_good_to_bad)) {
+                out.push(ImpairmentSpec::BurstLoss {
+                    p_good_to_bad: prob_of(u),
+                    p_bad_to_good,
+                    loss_bad,
+                });
+            }
+            if let Some(u) = halved(qprob(loss_bad)) {
+                out.push(ImpairmentSpec::BurstLoss {
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_bad: prob_of(u),
+                });
+            }
+        }
+        ImpairmentSpec::Jitter { prob, max_extra_ms } => {
+            if let Some(u) = halved(qprob(prob)) {
+                out.push(ImpairmentSpec::Jitter { prob: prob_of(u), max_extra_ms });
+            }
+            if let Some(u) = halved(max_extra_ms / MS_STEP) {
+                out.push(ImpairmentSpec::Jitter { prob, max_extra_ms: MS_STEP * u });
+            }
+        }
+        ImpairmentSpec::Displace { every, depth } => {
+            if let Some(u) = halved(u64::from(depth)) {
+                out.push(ImpairmentSpec::Displace { every, depth: u as u32 });
+            }
+        }
+        ImpairmentSpec::Duplicate { p } => {
+            if let Some(u) = halved(qprob(p)) {
+                out.push(ImpairmentSpec::Duplicate { p: prob_of(u) });
+            }
+        }
+        ImpairmentSpec::Flap { period_ms, down_ms } => {
+            if let Some(u) = halved(down_ms / MS_STEP) {
+                out.push(ImpairmentSpec::Flap { period_ms, down_ms: MS_STEP * u });
+            }
+        }
+        // Oscillations have no meaningful "weaker" direction along their
+        // period; removal (handled above) is their only shrink.
+        ImpairmentSpec::BandwidthOscillation { .. } | ImpairmentSpec::DelayOscillation { .. } => {}
+    }
+    out
+}
+
+fn weakened_windows(w: &AdminWindowSpec) -> Vec<AdminWindowSpec> {
+    let mut out = Vec::new();
+    match *w {
+        AdminWindowSpec::Down { at_ms, dur_ms } => {
+            if let Some(u) = halved(dur_ms / MS_STEP) {
+                out.push(AdminWindowSpec::Down { at_ms, dur_ms: MS_STEP * u });
+            }
+        }
+        AdminWindowSpec::Delay { at_ms, dur_ms, delay_ms } => {
+            if let Some(u) = halved(dur_ms / MS_STEP) {
+                out.push(AdminWindowSpec::Delay { at_ms, dur_ms: MS_STEP * u, delay_ms });
+            }
+            if let Some(u) = halved(delay_ms / MS_STEP) {
+                out.push(AdminWindowSpec::Delay { at_ms, dur_ms, delay_ms: MS_STEP * u });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cell execution
+// ---------------------------------------------------------------------------
+
+/// Outcome of one hunt cell: the hunted variant against a SACK rival on the
+/// stress dumbbell, with the sim-core invariant oracle consulted at the end.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct HuntCellResult {
+    /// Protocol under test (flow 0).
+    pub variant: Variant,
+    /// Candidate profile string.
+    pub profile: String,
+    /// Hunted flow's goodput over the measurement window, Mbps.
+    pub mbps: f64,
+    /// The SACK rival's goodput, Mbps.
+    pub rival_mbps: f64,
+    /// Jain fairness over (hunted, rival); 0 when both starve.
+    pub jain: f64,
+    /// Hunted-flow retransmissions.
+    pub retransmits: u64,
+    /// Packets destroyed by the impairment pipeline and down links.
+    pub impair_drops: u64,
+    /// Up → down transitions of the bottleneck.
+    pub link_flaps: u64,
+    /// Invariant violations reported by `netsim::oracle::check`.
+    pub oracle_violations: u64,
+    /// Events dispatched at instants earlier than the clock.
+    pub time_regressions: u64,
+}
+
+fn at_ms(t: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(t)
+}
+
+/// The two [`AdminEntry`]s realizing one window: enter at `at_ms`, restore
+/// at `at_ms + dur_ms`.
+fn window_entries(w: &AdminWindowSpec, default_delay: SimDuration) -> [AdminEntry; 2] {
+    match *w {
+        AdminWindowSpec::Down { at_ms: at, dur_ms } => [
+            AdminEntry { at: at_ms(at), action: LinkAdmin::Down },
+            AdminEntry { at: at_ms(at + dur_ms), action: LinkAdmin::Up },
+        ],
+        AdminWindowSpec::Delay { at_ms: at, dur_ms, delay_ms } => [
+            AdminEntry {
+                at: at_ms(at),
+                action: LinkAdmin::SetDelay { delay: SimDuration::from_millis(delay_ms) },
+            },
+            AdminEntry {
+                at: at_ms(at + dur_ms),
+                action: LinkAdmin::SetDelay { delay: default_delay },
+            },
+        ],
+    }
+}
+
+/// Runs one hunt cell: `variant` (flow 0) and a TCP-SACK rival (flow 1)
+/// share the stress dumbbell with its on-off cross traffic (flow 2), under
+/// the candidate's impairment pipeline and admin windows.
+pub fn run_hunt_cell(
+    variant: Variant,
+    impairments: &[ImpairmentSpec],
+    schedule: &[AdminWindowSpec],
+    cfg: StressConfig,
+    plan: MeasurePlan,
+    seed: u64,
+) -> HuntCellResult {
+    let mut d = dumbbell(seed, cfg.dumbbell);
+    let until = SimTime::ZERO + plan.total();
+
+    let stages = stress::to_stages(impairments);
+    if !stages.is_empty() {
+        d.sim.set_link_impairments(d.bottleneck, &stages);
+    }
+    for imp in impairments {
+        if let Some(entries) = stress::to_schedule(imp, &cfg, until) {
+            d.sim.apply_admin_schedule(d.bottleneck, &entries);
+        }
+    }
+    let default_delay = SimDuration::from_millis(cfg.dumbbell.bottleneck_delay_ms);
+    for w in schedule {
+        d.sim.apply_admin_schedule(d.bottleneck, &window_entries(w, default_delay));
+    }
+
+    let cross_flow = netsim::ids::FlowId::from_raw(2);
+    d.sim.add_agent(
+        d.src,
+        cross_flow,
+        Box::new(netsim::traffic::OnOffSource::new(
+            d.dst,
+            cfg.cross_rate_bps,
+            cfg.cross_packet_bytes,
+            cfg.cross_on,
+            cfg.cross_off,
+            SimTime::ZERO,
+        )),
+    );
+    d.sim.add_agent(d.dst, cross_flow, Box::new(netsim::traffic::CbrSink::new()));
+
+    let hunted = attach_flow(
+        &mut d.sim,
+        netsim::ids::FlowId::from_raw(0),
+        d.src,
+        d.dst,
+        variant.build(),
+        FlowOptions::default(),
+    );
+    let rival = attach_flow(
+        &mut d.sim,
+        netsim::ids::FlowId::from_raw(1),
+        d.src,
+        d.dst,
+        Variant::Sack.build(),
+        FlowOptions::default(),
+    );
+
+    d.sim.run_until(SimTime::ZERO + plan.warmup);
+    let before_hunted = receiver_host(&d.sim, hunted.receiver).received_unique_bytes();
+    let before_rival = receiver_host(&d.sim, rival.receiver).received_unique_bytes();
+    d.sim.run_until(until);
+    let hunted_bytes =
+        receiver_host(&d.sim, hunted.receiver).received_unique_bytes() - before_hunted;
+    let rival_bytes = receiver_host(&d.sim, rival.receiver).received_unique_bytes() - before_rival;
+
+    let window_s = plan.window.as_secs_f64();
+    let hunted_mbps = mbps(hunted_bytes, window_s);
+    let rival_mbps = mbps(rival_bytes, window_s);
+    let jain = if hunted_mbps + rival_mbps > 0.0 {
+        jain_fairness(&[hunted_mbps, rival_mbps])
+    } else {
+        0.0
+    };
+
+    let snap = d.sim.invariant_snapshot();
+    let violations = netsim::oracle::check(&snap);
+    let tx = sender_host::<Box<dyn TcpSenderAlgo>>(&d.sim, hunted.sender).stats();
+    let totals = d.sim.impair_totals();
+    HuntCellResult {
+        variant,
+        profile: Candidate { impairments: impairments.to_vec(), schedule: schedule.to_vec() }
+            .profile(),
+        mbps: hunted_mbps,
+        rival_mbps,
+        jain,
+        retransmits: tx.retransmits,
+        impair_drops: totals.drops(),
+        link_flaps: totals.flaps,
+        oracle_violations: violations.len() as u64,
+        time_regressions: snap.time_regressions,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Objectives
+// ---------------------------------------------------------------------------
+
+/// What the search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// The hunted variant's goodput, Mbps (find starvation schedules).
+    Goodput,
+    /// Jain fairness between the hunted flow and its SACK rival (find
+    /// schedules under which sharing collapses).
+    Fairness,
+    /// Negated sim-core invariant violation count (actively hunt for
+    /// conservation/monotonicity breakage; clean runs score 0).
+    Oracle,
+}
+
+impl Objective {
+    /// Parses a `--objective` argument.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "goodput" => Some(Objective::Goodput),
+            "fairness" => Some(Objective::Fairness),
+            "oracle" => Some(Objective::Oracle),
+            _ => None,
+        }
+    }
+
+    /// The CLI/artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Goodput => "goodput",
+            Objective::Fairness => "fairness",
+            Objective::Oracle => "oracle",
+        }
+    }
+
+    /// The minimized value of one cell result.
+    pub fn value(self, r: &HuntCellResult) -> f64 {
+        match self {
+            Objective::Goodput => r.mbps,
+            Objective::Fairness => r.jain,
+            Objective::Oracle => -(r.oracle_violations as f64),
+        }
+    }
+
+    /// The counterexample threshold: a candidate *fails* (counts as a
+    /// counterexample) when its value drops strictly below this.
+    pub fn threshold(self, baseline_value: f64) -> f64 {
+        match self {
+            // Half the clean run's figure: an unambiguous degradation, not
+            // measurement noise.
+            Objective::Goodput | Objective::Fairness => 0.5 * baseline_value,
+            // Any violation at all is a finding.
+            Objective::Oracle => 0.0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched, memoized evaluation through the sweep pool
+// ---------------------------------------------------------------------------
+
+struct Evaluator {
+    variant: Variant,
+    seed: u64,
+    jobs: usize,
+    /// Content hash → decoded result (`None` = the cell crashed).
+    memo: HashMap<u64, Option<HuntCellResult>>,
+    fresh: u64,
+    memo_hits: u64,
+}
+
+impl Evaluator {
+    fn new(variant: Variant, seed: u64, jobs: usize) -> Self {
+        Evaluator { variant, seed, jobs, memo: HashMap::new(), fresh: 0, memo_hits: 0 }
+    }
+
+    fn spec_for(&self, c: &Candidate) -> ScenarioSpec {
+        let mut spec =
+            ScenarioSpec::new(ScenarioKind::Hunt { variant: self.variant }, PlanSpec::Smoke)
+                .with_impairments(c.impairments.clone())
+                .with_schedule(c.schedule.clone());
+        spec.base_seed = self.seed;
+        spec
+    }
+
+    /// Evaluates a batch of candidates, in order. Previously seen content
+    /// hashes are free (memoized); the rest run through the sweep pool,
+    /// whose outcomes come back in spec order at any worker count.
+    fn results(&mut self, cands: &[Candidate]) -> Vec<Option<HuntCellResult>> {
+        let specs: Vec<ScenarioSpec> = cands.iter().map(|c| self.spec_for(c)).collect();
+        let hashes: Vec<u64> = specs.iter().map(ScenarioSpec::content_hash).collect();
+
+        let mut to_run: Vec<ScenarioSpec> = Vec::new();
+        let mut to_run_hashes: Vec<u64> = Vec::new();
+        for (spec, &h) in specs.iter().zip(&hashes) {
+            if !self.memo.contains_key(&h) && !to_run_hashes.contains(&h) {
+                to_run.push(spec.clone());
+                to_run_hashes.push(h);
+            }
+        }
+        self.memo_hits += (cands.len() - to_run.len()) as u64;
+        self.fresh += to_run.len() as u64;
+        obs::count("hunt.memo_hits", (cands.len() - to_run.len()) as u64);
+        obs::count("hunt.evaluations", to_run.len() as u64);
+
+        if !to_run.is_empty() {
+            let opts = SweepOptions {
+                jobs: self.jobs,
+                cache: CachePolicy::Off,
+                cache_dir: crate::sweep::DEFAULT_CACHE_DIR.into(),
+                progress: false,
+            };
+            let report = run_sweep(&to_run, &ExecCtx::default(), &opts);
+            for (run, &h) in report.runs.iter().zip(&to_run_hashes) {
+                let decoded = run.outcome.value().map(|v| {
+                    crate::sweep::decode::hunt_cell_result(v).expect("hunt cells decode losslessly")
+                });
+                self.memo.insert(h, decoded);
+            }
+        }
+        hashes.iter().map(|h| self.memo[h].clone()).collect()
+    }
+
+    /// Objective values per candidate; crashed cells score `+∞` so they can
+    /// never become the incumbent (or a counterexample).
+    fn values(&mut self, cands: &[Candidate], objective: Objective) -> Vec<f64> {
+        self.results(cands)
+            .iter()
+            .map(|r| r.as_ref().map_or(f64::INFINITY, |r| objective.value(r)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The hunt driver
+// ---------------------------------------------------------------------------
+
+/// One `repro hunt` invocation's parameters.
+#[derive(Debug, Clone)]
+pub struct HuntConfig {
+    /// Protocol under attack.
+    pub variant: Variant,
+    /// Minimized objective.
+    pub objective: Objective,
+    /// Search evaluations (the baseline cell is free).
+    pub budget: u64,
+    /// Search seed; with `budget`, fully determines every artifact byte.
+    pub seed: u64,
+    /// Sweep-pool workers — affects wall clock only, never results.
+    pub jobs: usize,
+}
+
+/// What [`run_hunt`] found, for the caller's summary line.
+#[derive(Debug, Clone)]
+pub struct HuntReport {
+    /// Whether a counterexample (value below threshold) was found.
+    pub found: bool,
+    /// The empty candidate's objective value.
+    pub baseline_value: f64,
+    /// The counterexample threshold.
+    pub threshold: f64,
+    /// Best (lowest) objective value reached.
+    pub best_value: f64,
+    /// Fresh cell evaluations (search + shrink).
+    pub evaluations: u64,
+    /// Evaluations answered from the memo table.
+    pub memo_hits: u64,
+    /// The shrunk counterexample file, when found.
+    pub counterexample: Option<PathBuf>,
+    /// The minimal failing candidate, when found.
+    pub minimal: Option<Candidate>,
+}
+
+/// Runs the full hunt: baseline, hill-climbing search, shrink, artifacts.
+/// Writes `results/hunt.json` and, when a counterexample is found, a
+/// replayable spec under `results/counterexamples/`. Byte-identical output
+/// for equal `(variant, objective, budget, seed)` at any `jobs`.
+pub fn run_hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
+    let mut eval = Evaluator::new(cfg.variant, cfg.seed, cfg.jobs);
+
+    let baseline = Candidate::baseline();
+    let baseline_result = eval
+        .results(std::slice::from_ref(&baseline))
+        .pop()
+        .flatten()
+        .ok_or_else(|| "baseline hunt cell crashed".to_owned())?;
+    let baseline_value = cfg.objective.value(&baseline_result);
+    let threshold = cfg.objective.threshold(baseline_value);
+    // The baseline is reference material, not a search step.
+    eval.fresh = 0;
+    eval.memo_hits = 0;
+
+    let search_cfg = SearchConfig { budget: cfg.budget, seed: cfg.seed, ..SearchConfig::default() };
+    let search = hill_climb(baseline.clone(), baseline_value, &search_cfg, mutate, |cands| {
+        eval.values(cands, cfg.objective)
+    });
+    obs::count("hunt.generations", search.log.len() as u64);
+    let degradation_ppm = match cfg.objective {
+        Objective::Oracle => ((-search.best_value).max(0.0) * 1e6) as u64,
+        _ if baseline_value > 0.0 => {
+            (((baseline_value - search.best_value).max(0.0) / baseline_value) * 1e6) as u64
+        }
+        _ => 0,
+    };
+    obs::gauge_max("hunt.best_degradation_ppm", degradation_ppm);
+
+    let found = search.best_value < threshold;
+    let shrunk: Option<ShrinkOutcome<Candidate>> = if found {
+        Some(shrink(search.best.clone(), Candidate::size, shrink_steps, |cands| {
+            eval.values(cands, cfg.objective).into_iter().map(|v| v < threshold).collect()
+        }))
+    } else {
+        None
+    };
+
+    let counterexample = match &shrunk {
+        Some(s) => {
+            let minimal_value = *eval
+                .values(std::slice::from_ref(&s.minimal), cfg.objective)
+                .first()
+                .expect("one candidate, one value");
+            Some(write_counterexample(cfg, &s.minimal, minimal_value, baseline_value, threshold)?)
+        }
+        None => None,
+    };
+
+    let artifact = hunt_artifact(
+        cfg,
+        &baseline_result,
+        baseline_value,
+        threshold,
+        &search.best,
+        search.best_value,
+        &search.log,
+        found,
+        shrunk.as_ref(),
+        counterexample.as_deref(),
+        &eval,
+    );
+    let path = Path::new("results/hunt.json");
+    fs_write(path, &serde_json::to_string_pretty(&artifact).expect("shim serializer is total"))?;
+
+    Ok(HuntReport {
+        found,
+        baseline_value,
+        threshold,
+        best_value: search.best_value,
+        evaluations: eval.fresh,
+        memo_hits: eval.memo_hits,
+        counterexample,
+        minimal: shrunk.map(|s| s.minimal),
+    })
+}
+
+fn fs_write(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Writes the shrunk counterexample as a replayable spec. The filename is a
+/// pure function of the objective and the minimal spec's content hash.
+fn write_counterexample(
+    cfg: &HuntConfig,
+    minimal: &Candidate,
+    value: f64,
+    baseline_value: f64,
+    threshold: f64,
+) -> Result<PathBuf, String> {
+    let spec = ScenarioSpec::new(ScenarioKind::Hunt { variant: cfg.variant }, PlanSpec::Smoke)
+        .with_impairments(minimal.impairments.clone())
+        .with_schedule(minimal.schedule.clone());
+    let spec = ScenarioSpec { base_seed: cfg.seed, ..spec };
+    let dir = Path::new("results/counterexamples");
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}-{}.json", cfg.objective.name(), spec.hash_hex()));
+    let doc = Value::Object(vec![
+        ("kind".to_owned(), Value::Str("hunt".to_owned())),
+        ("variant".to_owned(), Value::Str(cfg.variant.label().to_owned())),
+        ("plan".to_owned(), Value::Str("smoke".to_owned())),
+        ("base_seed".to_owned(), Value::UInt(cfg.seed)),
+        ("content_hash".to_owned(), Value::Str(spec.hash_hex())),
+        ("objective".to_owned(), Value::Str(cfg.objective.name().to_owned())),
+        ("baseline_value".to_owned(), Value::Float(baseline_value)),
+        ("threshold".to_owned(), Value::Float(threshold)),
+        ("value".to_owned(), Value::Float(value)),
+        ("candidate".to_owned(), candidate_value(minimal)),
+    ]);
+    fs_write(&path, &serde_json::to_string_pretty(&doc).expect("shim serializer is total"))?;
+    Ok(path)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hunt_artifact(
+    cfg: &HuntConfig,
+    baseline_result: &HuntCellResult,
+    baseline_value: f64,
+    threshold: f64,
+    best: &Candidate,
+    best_value: f64,
+    log: &[GenerationRecord],
+    found: bool,
+    shrunk: Option<&ShrinkOutcome<Candidate>>,
+    counterexample: Option<&Path>,
+    eval: &Evaluator,
+) -> Value {
+    let generations: Vec<Value> = log
+        .iter()
+        .map(|g| {
+            Value::Object(vec![
+                ("generation".to_owned(), Value::UInt(u64::from(g.generation))),
+                ("evaluations".to_owned(), Value::UInt(g.evaluations)),
+                ("best_value".to_owned(), Value::Float(g.best_value)),
+                ("improved".to_owned(), Value::Bool(g.improved)),
+            ])
+        })
+        .collect();
+    let shrink_value = match shrunk {
+        Some(s) => Value::Object(vec![
+            ("rounds".to_owned(), Value::UInt(u64::from(s.rounds))),
+            ("evaluations".to_owned(), Value::UInt(s.evaluations)),
+            (
+                "trajectory".to_owned(),
+                Value::Array(s.trajectory.iter().map(|&x| Value::UInt(x)).collect()),
+            ),
+            ("minimal".to_owned(), candidate_value(&s.minimal)),
+        ]),
+        None => Value::Null,
+    };
+    Value::Object(vec![
+        ("objective".to_owned(), Value::Str(cfg.objective.name().to_owned())),
+        ("variant".to_owned(), Value::Str(cfg.variant.label().to_owned())),
+        ("budget".to_owned(), Value::UInt(cfg.budget)),
+        ("seed".to_owned(), Value::UInt(cfg.seed)),
+        ("baseline".to_owned(), serde::Serialize::to_value(baseline_result)),
+        ("baseline_value".to_owned(), Value::Float(baseline_value)),
+        ("threshold".to_owned(), Value::Float(threshold)),
+        ("best_value".to_owned(), Value::Float(best_value)),
+        ("best".to_owned(), candidate_value(best)),
+        ("fresh_evaluations".to_owned(), Value::UInt(eval.fresh)),
+        ("memo_hits".to_owned(), Value::UInt(eval.memo_hits)),
+        ("generations".to_owned(), Value::Array(generations)),
+        ("found".to_owned(), Value::Bool(found)),
+        ("shrink".to_owned(), shrink_value),
+        (
+            "counterexample".to_owned(),
+            match counterexample {
+                Some(p) => Value::Str(p.display().to_string()),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Candidate (de)serialization — replayable counterexample specs
+// ---------------------------------------------------------------------------
+
+fn impairment_value(i: &ImpairmentSpec) -> Value {
+    let mut fields = vec![("type".to_owned(), Value::Str(i.tag().to_owned()))];
+    match *i {
+        ImpairmentSpec::IidLoss { p } => fields.push(("p".to_owned(), Value::Float(p))),
+        ImpairmentSpec::BurstLoss { p_good_to_bad, p_bad_to_good, loss_bad } => {
+            fields.push(("p_good_to_bad".to_owned(), Value::Float(p_good_to_bad)));
+            fields.push(("p_bad_to_good".to_owned(), Value::Float(p_bad_to_good)));
+            fields.push(("loss_bad".to_owned(), Value::Float(loss_bad)));
+        }
+        ImpairmentSpec::Jitter { prob, max_extra_ms } => {
+            fields.push(("prob".to_owned(), Value::Float(prob)));
+            fields.push(("max_extra_ms".to_owned(), Value::UInt(max_extra_ms)));
+        }
+        ImpairmentSpec::Displace { every, depth } => {
+            fields.push(("every".to_owned(), Value::UInt(every)));
+            fields.push(("depth".to_owned(), Value::UInt(u64::from(depth))));
+        }
+        ImpairmentSpec::Duplicate { p } => fields.push(("p".to_owned(), Value::Float(p))),
+        ImpairmentSpec::Flap { period_ms, down_ms } => {
+            fields.push(("period_ms".to_owned(), Value::UInt(period_ms)));
+            fields.push(("down_ms".to_owned(), Value::UInt(down_ms)));
+        }
+        ImpairmentSpec::BandwidthOscillation { low_mbps, period_ms } => {
+            fields.push(("low_mbps".to_owned(), Value::Float(low_mbps)));
+            fields.push(("period_ms".to_owned(), Value::UInt(period_ms)));
+        }
+        ImpairmentSpec::DelayOscillation { high_delay_ms, period_ms } => {
+            fields.push(("high_delay_ms".to_owned(), Value::UInt(high_delay_ms)));
+            fields.push(("period_ms".to_owned(), Value::UInt(period_ms)));
+        }
+    }
+    Value::Object(fields)
+}
+
+fn window_value(w: &AdminWindowSpec) -> Value {
+    match *w {
+        AdminWindowSpec::Down { at_ms, dur_ms } => Value::Object(vec![
+            ("type".to_owned(), Value::Str("down".to_owned())),
+            ("at_ms".to_owned(), Value::UInt(at_ms)),
+            ("dur_ms".to_owned(), Value::UInt(dur_ms)),
+        ]),
+        AdminWindowSpec::Delay { at_ms, dur_ms, delay_ms } => Value::Object(vec![
+            ("type".to_owned(), Value::Str("delay".to_owned())),
+            ("at_ms".to_owned(), Value::UInt(at_ms)),
+            ("dur_ms".to_owned(), Value::UInt(dur_ms)),
+            ("delay_ms".to_owned(), Value::UInt(delay_ms)),
+        ]),
+    }
+}
+
+/// Serializes a candidate for artifacts and counterexample files.
+pub fn candidate_value(c: &Candidate) -> Value {
+    Value::Object(vec![
+        (
+            "impairments".to_owned(),
+            Value::Array(c.impairments.iter().map(impairment_value).collect()),
+        ),
+        ("schedule".to_owned(), Value::Array(c.schedule.iter().map(window_value).collect())),
+    ])
+}
+
+fn impairment_from_value(v: &Value) -> Option<ImpairmentSpec> {
+    use crate::sweep::decode::{as_str, get};
+    let f = |key: &str| get(v, key).and_then(crate::sweep::decode::as_f64);
+    let u = |key: &str| get(v, key).and_then(crate::sweep::decode::as_u64);
+    match as_str(get(v, "type")?)? {
+        "iid-loss" => Some(ImpairmentSpec::IidLoss { p: f("p")? }),
+        "burst-loss" => Some(ImpairmentSpec::BurstLoss {
+            p_good_to_bad: f("p_good_to_bad")?,
+            p_bad_to_good: f("p_bad_to_good")?,
+            loss_bad: f("loss_bad")?,
+        }),
+        "jitter" => {
+            Some(ImpairmentSpec::Jitter { prob: f("prob")?, max_extra_ms: u("max_extra_ms")? })
+        }
+        "displace" => {
+            Some(ImpairmentSpec::Displace { every: u("every")?, depth: u("depth")? as u32 })
+        }
+        "duplicate" => Some(ImpairmentSpec::Duplicate { p: f("p")? }),
+        "flap" => Some(ImpairmentSpec::Flap { period_ms: u("period_ms")?, down_ms: u("down_ms")? }),
+        "bw-osc" => Some(ImpairmentSpec::BandwidthOscillation {
+            low_mbps: f("low_mbps")?,
+            period_ms: u("period_ms")?,
+        }),
+        "delay-osc" => Some(ImpairmentSpec::DelayOscillation {
+            high_delay_ms: u("high_delay_ms")?,
+            period_ms: u("period_ms")?,
+        }),
+        _ => None,
+    }
+}
+
+fn window_from_value(v: &Value) -> Option<AdminWindowSpec> {
+    use crate::sweep::decode::{as_str, get};
+    let u = |key: &str| get(v, key).and_then(crate::sweep::decode::as_u64);
+    match as_str(get(v, "type")?)? {
+        "down" => Some(AdminWindowSpec::Down { at_ms: u("at_ms")?, dur_ms: u("dur_ms")? }),
+        "delay" => Some(AdminWindowSpec::Delay {
+            at_ms: u("at_ms")?,
+            dur_ms: u("dur_ms")?,
+            delay_ms: u("delay_ms")?,
+        }),
+        _ => None,
+    }
+}
+
+/// Decodes a candidate back out of [`candidate_value`]'s encoding — the
+/// replay path for pinned counterexample specs.
+pub fn candidate_from_value(v: &Value) -> Option<Candidate> {
+    use crate::sweep::decode::get;
+    let imps = match get(v, "impairments")? {
+        Value::Array(items) => {
+            items.iter().map(impairment_from_value).collect::<Option<Vec<_>>>()?
+        }
+        _ => return None,
+    };
+    let wins = match get(v, "schedule")? {
+        Value::Array(items) => items.iter().map(window_from_value).collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    Some(Candidate { impairments: imps, schedule: wins })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_candidate() -> Candidate {
+        Candidate {
+            impairments: vec![
+                ImpairmentSpec::BurstLoss {
+                    p_good_to_bad: 0.02,
+                    p_bad_to_good: 0.3,
+                    loss_bad: 1.0,
+                },
+                ImpairmentSpec::Jitter { prob: 0.3, max_extra_ms: 40 },
+            ],
+            schedule: vec![
+                AdminWindowSpec::Down { at_ms: 1500, dur_ms: 200 },
+                AdminWindowSpec::Delay { at_ms: 2500, dur_ms: 300, delay_ms: 100 },
+            ],
+        }
+    }
+
+    #[test]
+    fn candidate_round_trips_through_value_and_text() {
+        let c = sample_candidate();
+        let v = candidate_value(&c);
+        assert_eq!(candidate_from_value(&v), Some(c.clone()));
+        // Through JSON text (the counterexample file's on-disk trip).
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(candidate_from_value(&reparsed), Some(c));
+    }
+
+    #[test]
+    fn shrink_steps_strictly_decrease_the_size_measure() {
+        let c = sample_candidate();
+        let size = c.size();
+        let steps = shrink_steps(&c);
+        assert!(!steps.is_empty());
+        for s in &steps {
+            assert!(s.size() < size, "{} !< {} for {:?}", s.size(), size, s);
+        }
+    }
+
+    #[test]
+    fn mutation_stays_on_the_quantization_grid_and_inside_caps() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut c = Candidate::baseline();
+        for _ in 0..500 {
+            c = mutate(&c, &mut rng);
+            assert!(c.impairments.len() <= MAX_STAGES);
+            assert!(c.schedule.len() <= MAX_WINDOWS);
+            for w in &c.schedule {
+                let (at, dur) = match *w {
+                    AdminWindowSpec::Down { at_ms, dur_ms } => (at_ms, dur_ms),
+                    AdminWindowSpec::Delay { at_ms, dur_ms, .. } => (at_ms, dur_ms),
+                };
+                assert_eq!(at % MS_STEP, 0);
+                assert_eq!(dur % MS_STEP, 0);
+                assert!(at + dur <= HORIZON_MS, "window past the horizon: {w:?}");
+            }
+            for i in &c.impairments {
+                if let ImpairmentSpec::IidLoss { p } = *i {
+                    assert!((p / PROB_STEP).fract().abs() < 1e-9, "off-grid p {p}");
+                }
+            }
+        }
+        // The walk actually explores both dimensions.
+        assert!(c.size() > 0);
+    }
+
+    #[test]
+    fn hunt_cells_are_deterministic_and_oracle_clean() {
+        let c = sample_candidate();
+        let run = || {
+            run_hunt_cell(
+                Variant::TcpPr,
+                &c.impairments,
+                &c.schedule,
+                StressConfig::default(),
+                MeasurePlan::smoke(),
+                5,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.oracle_violations, 0, "healthy cells balance the books");
+        assert_eq!(a.time_regressions, 0);
+        assert!(a.impair_drops > 0, "burst loss and the outage bite: {a:?}");
+        assert!(a.link_flaps >= 1, "the down window flaps the link");
+    }
+
+    #[test]
+    fn down_windows_hurt_goodput() {
+        let clean = run_hunt_cell(
+            Variant::TcpPr,
+            &[],
+            &[],
+            StressConfig::default(),
+            MeasurePlan::smoke(),
+            5,
+        );
+        let outage = run_hunt_cell(
+            Variant::TcpPr,
+            &[],
+            &[
+                AdminWindowSpec::Down { at_ms: 1200, dur_ms: 400 },
+                AdminWindowSpec::Down { at_ms: 2200, dur_ms: 400 },
+                AdminWindowSpec::Down { at_ms: 3200, dur_ms: 400 },
+            ],
+            StressConfig::default(),
+            MeasurePlan::smoke(),
+            5,
+        );
+        assert!(
+            outage.mbps < clean.mbps,
+            "outages must cost goodput: {} vs {}",
+            outage.mbps,
+            clean.mbps
+        );
+    }
+
+    #[test]
+    fn objectives_parse_and_score() {
+        assert_eq!(Objective::from_name("goodput"), Some(Objective::Goodput));
+        assert_eq!(Objective::from_name("fairness"), Some(Objective::Fairness));
+        assert_eq!(Objective::from_name("oracle"), Some(Objective::Oracle));
+        assert_eq!(Objective::from_name("latency"), None);
+        let r = HuntCellResult {
+            variant: Variant::TcpPr,
+            profile: "baseline".to_owned(),
+            mbps: 4.0,
+            rival_mbps: 4.0,
+            jain: 1.0,
+            retransmits: 0,
+            impair_drops: 0,
+            link_flaps: 0,
+            oracle_violations: 2,
+            time_regressions: 1,
+        };
+        assert_eq!(Objective::Goodput.value(&r), 4.0);
+        assert_eq!(Objective::Fairness.value(&r), 1.0);
+        assert_eq!(Objective::Oracle.value(&r), -2.0);
+        assert_eq!(Objective::Goodput.threshold(4.0), 2.0);
+        assert_eq!(Objective::Oracle.threshold(0.0), 0.0);
+    }
+}

@@ -48,6 +48,7 @@
 pub mod ablations;
 pub mod bench;
 pub mod figures;
+pub mod hunt;
 pub mod manet;
 pub mod metrics;
 pub mod routeflap;

@@ -30,6 +30,13 @@ impl MeasurePlan {
         MeasurePlan { warmup: SimDuration::from_secs(10), window: SimDuration::from_secs(15) }
     }
 
+    /// The shortest plan: adversarial hunt cells, where the search evaluates
+    /// hundreds of candidates and each must stay cheap. Long enough for a
+    /// flow to leave slow start and feel a mid-run outage, no longer.
+    pub fn smoke() -> Self {
+        MeasurePlan { warmup: SimDuration::from_secs(1), window: SimDuration::from_secs(3) }
+    }
+
     /// Total simulated time.
     pub fn total(&self) -> SimDuration {
         self.warmup + self.window

@@ -99,7 +99,7 @@ pub fn profile_name(impairments: &[ImpairmentSpec]) -> String {
 
 /// The per-packet pipeline stages of an impairment list, in list order
 /// (schedule-type entries contribute nothing here).
-fn to_stages(impairments: &[ImpairmentSpec]) -> Vec<StageConfig> {
+pub(crate) fn to_stages(impairments: &[ImpairmentSpec]) -> Vec<StageConfig> {
     impairments
         .iter()
         .filter_map(|imp| match *imp {
@@ -128,7 +128,7 @@ fn to_stages(impairments: &[ImpairmentSpec]) -> Vec<StageConfig> {
 }
 
 /// The admin schedule of one impairment entry, if it is schedule-typed.
-fn to_schedule(
+pub(crate) fn to_schedule(
     imp: &ImpairmentSpec,
     cfg: &StressConfig,
     until: SimTime,

@@ -13,6 +13,7 @@ use serde::Value;
 use crate::ablations::{Ablation, AblationResult};
 use crate::figures::fairness::FairnessResult;
 use crate::figures::fig6::Fig6Point;
+use crate::hunt::HuntCellResult;
 use crate::manet::ChurnResult;
 use crate::routeflap::RouteFlapResult;
 use crate::stress::StressResult;
@@ -137,6 +138,22 @@ pub fn stress_result(v: &Value) -> Option<StressResult> {
     })
 }
 
+/// Decodes a [`HuntCellResult`].
+pub fn hunt_cell_result(v: &Value) -> Option<HuntCellResult> {
+    Some(HuntCellResult {
+        variant: Variant::from_name(as_str(get(v, "variant")?)?)?,
+        profile: as_str(get(v, "profile")?)?.to_owned(),
+        mbps: f64_field(v, "mbps")?,
+        rival_mbps: f64_field(v, "rival_mbps")?,
+        jain: f64_field(v, "jain")?,
+        retransmits: u64_field(v, "retransmits")?,
+        impair_drops: u64_field(v, "impair_drops")?,
+        link_flaps: u64_field(v, "link_flaps")?,
+        oracle_violations: u64_field(v, "oracle_violations")?,
+        time_regressions: u64_field(v, "time_regressions")?,
+    })
+}
+
 /// Decodes an [`AblationResult`].
 pub fn ablation_result(v: &Value) -> Option<AblationResult> {
     Some(AblationResult {
@@ -219,6 +236,30 @@ mod tests {
         let decoded = stress_result(&reparsed).expect("decode after parse");
         assert_eq!(decoded.profile, r.profile);
         assert_eq!(decoded.impair_drops, r.impair_drops);
+    }
+
+    #[test]
+    fn hunt_cell_result_roundtrips() {
+        let r = HuntCellResult {
+            variant: Variant::TcpPr,
+            profile: "burst-loss+down".to_owned(),
+            mbps: 1.75,
+            rival_mbps: 6.0,
+            jain: 0.62,
+            retransmits: 45,
+            impair_drops: 112,
+            link_flaps: 2,
+            oracle_violations: 0,
+            time_regressions: 0,
+        };
+        let v = serde::Serialize::to_value(&r);
+        let decoded = hunt_cell_result(&v).expect("decode");
+        assert_eq!(serde::Serialize::to_value(&decoded), v);
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        let decoded = hunt_cell_result(&reparsed).expect("decode after parse");
+        assert_eq!(decoded.profile, r.profile);
+        assert_eq!(decoded.jain, r.jain);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::figures::fairness::{
     run_fairness_with, FairnessParams, FairnessTelemetry, FairnessTopology,
 };
 use crate::figures::fig6;
+use crate::hunt;
 use crate::manet::{self, ChurnConfig};
 use crate::routeflap::{self, RouteFlapConfig};
 use crate::stress::{self, StressConfig};
@@ -132,6 +133,17 @@ pub fn execute(spec: &ScenarioSpec, ctx: &ExecCtx) -> Value {
             let r = stress::run_stress(
                 *variant,
                 &spec.impairments,
+                StressConfig::default(),
+                plan,
+                seed,
+            );
+            serde::Serialize::to_value(&r)
+        }
+        ScenarioKind::Hunt { variant } => {
+            let r = hunt::run_hunt_cell(
+                *variant,
+                &spec.impairments,
+                &spec.schedule,
                 StressConfig::default(),
                 plan,
                 seed,

@@ -29,4 +29,6 @@ pub use cache::{Cache, CachePolicy, CachedRun, DEFAULT_CACHE_DIR};
 pub use exec::{execute, ExecCtx};
 pub use grids::{all_figures, FigureGrid};
 pub use pool::{run_sweep, RunOutcome, ScenarioRun, SweepOptions, SweepReport};
-pub use spec::{ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec, CODE_SALT};
+pub use spec::{
+    AdminWindowSpec, ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec, CODE_SALT,
+};

@@ -121,6 +121,13 @@ pub enum ScenarioKind {
         /// Protocol under test.
         variant: Variant,
     },
+    /// Adversarial hunt cell: one variant plus a SACK rival on the stress
+    /// dumbbell, honoring both the spec's `impairments` list and its
+    /// one-shot admin `schedule`. Used only by the `hunt` search loop.
+    Hunt {
+        /// Protocol under test.
+        variant: Variant,
+    },
 }
 
 /// One channel impairment applied to the stress bottleneck, in spec form.
@@ -254,10 +261,65 @@ impl ImpairmentSpec {
     }
 }
 
+/// One scheduled one-shot administrative action on the bottleneck link, in
+/// spec form. Unlike the periodic [`ImpairmentSpec::Flap`], these windows
+/// are placed at absolute instants — the degrees of freedom the adversary
+/// mutates when hunting for pathological loss-burst/flap placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminWindowSpec {
+    /// Bottleneck goes down at `at_ms` and comes back `dur_ms` later.
+    Down {
+        /// Window start, ms from sim start.
+        at_ms: u64,
+        /// Outage length, ms.
+        dur_ms: u64,
+    },
+    /// Bottleneck one-way delay jumps to `delay_ms` at `at_ms`, reverting
+    /// to the scenario default `dur_ms` later (a reordering/RTT spike).
+    Delay {
+        /// Window start, ms from sim start.
+        at_ms: u64,
+        /// Window length, ms.
+        dur_ms: u64,
+        /// One-way delay inside the window, ms.
+        delay_ms: u64,
+    },
+}
+
+impl AdminWindowSpec {
+    /// Canonical hash encoding: tag string then parameters in order.
+    fn hash_into(&self, h: &mut Fnv1a) {
+        match *self {
+            AdminWindowSpec::Down { at_ms, dur_ms } => {
+                h.write_str("down");
+                h.write_u64(at_ms);
+                h.write_u64(dur_ms);
+            }
+            AdminWindowSpec::Delay { at_ms, dur_ms, delay_ms } => {
+                h.write_str("delay");
+                h.write_u64(at_ms);
+                h.write_u64(dur_ms);
+                h.write_u64(delay_ms);
+            }
+        }
+    }
+
+    /// Short tag for labels.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AdminWindowSpec::Down { .. } => "down",
+            AdminWindowSpec::Delay { .. } => "delay",
+        }
+    }
+}
+
 /// Measurement plan selector — a closed enum rather than raw durations so
 /// the hash encoding stays canonical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanSpec {
+    /// `MeasurePlan::smoke()` — 1 s warm-up, 3 s window. Cheap cells for
+    /// the adversarial hunt, where thousands of candidates are evaluated.
+    Smoke,
     /// `MeasurePlan::quick()` — 10 s warm-up, 15 s window.
     Quick,
     /// `MeasurePlan::default()` — the paper's 60 s + 60 s.
@@ -277,6 +339,7 @@ impl PlanSpec {
     /// The concrete measurement plan.
     pub fn plan(self) -> MeasurePlan {
         match self {
+            PlanSpec::Smoke => MeasurePlan::smoke(),
             PlanSpec::Quick => MeasurePlan::quick(),
             PlanSpec::Full => MeasurePlan::default(),
         }
@@ -299,19 +362,38 @@ pub struct ScenarioSpec {
     /// Channel impairments applied to the scenario's bottleneck, in
     /// pipeline order. Empty for every non-stress scenario — and an empty
     /// list is hash-transparent, so legacy specs keep their cache keys.
-    /// Currently honored only by [`ScenarioKind::Stress`].
+    /// Honored by [`ScenarioKind::Stress`] and [`ScenarioKind::Hunt`].
     pub impairments: Vec<ImpairmentSpec>,
+    /// One-shot admin windows on the bottleneck, the adversary's schedule
+    /// dimension. Empty everywhere outside the hunt — and hash-transparent
+    /// when empty, so pre-existing cache keys survive the field's addition.
+    /// Honored only by [`ScenarioKind::Hunt`].
+    pub schedule: Vec<AdminWindowSpec>,
 }
 
 impl ScenarioSpec {
-    /// A spec with base seed 0, tracing off and no impairments.
+    /// A spec with base seed 0, tracing off, no impairments and no admin
+    /// schedule.
     pub fn new(kind: ScenarioKind, plan: PlanSpec) -> Self {
-        ScenarioSpec { kind, plan, base_seed: 0, traced: false, impairments: Vec::new() }
+        ScenarioSpec {
+            kind,
+            plan,
+            base_seed: 0,
+            traced: false,
+            impairments: Vec::new(),
+            schedule: Vec::new(),
+        }
     }
 
     /// Replaces the impairment list (builder style).
     pub fn with_impairments(mut self, impairments: Vec<ImpairmentSpec>) -> Self {
         self.impairments = impairments;
+        self
+    }
+
+    /// Replaces the admin-window schedule (builder style).
+    pub fn with_schedule(mut self, schedule: Vec<AdminWindowSpec>) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -323,6 +405,7 @@ impl ScenarioSpec {
         let mut h = Fnv1a::new();
         h.write_str(CODE_SALT);
         h.write_str(match self.plan {
+            PlanSpec::Smoke => "smoke",
             PlanSpec::Quick => "quick",
             PlanSpec::Full => "full",
         });
@@ -379,6 +462,10 @@ impl ScenarioSpec {
                 h.write_str("stress");
                 h.write_str(variant.label());
             }
+            ScenarioKind::Hunt { variant } => {
+                h.write_str("hunt");
+                h.write_str(variant.label());
+            }
         }
         // Impairments are appended only when present, so every legacy spec
         // (impairments is empty everywhere outside the stress grid) hashes
@@ -388,6 +475,16 @@ impl ScenarioSpec {
             h.write_u64(self.impairments.len() as u64);
             for imp in &self.impairments {
                 imp.hash_into(&mut h);
+            }
+        }
+        // Same empty-field transparency for the adversary schedule: only
+        // hunt specs ever populate it, so every earlier spec's cache key
+        // and derived sim seed is untouched by the field's existence.
+        if !self.schedule.is_empty() {
+            h.write_str("sched");
+            h.write_u64(self.schedule.len() as u64);
+            for w in &self.schedule {
+                w.hash_into(&mut h);
             }
         }
         h.finish()
@@ -433,6 +530,14 @@ impl ScenarioSpec {
                 let profile =
                     if profile.is_empty() { "baseline".to_owned() } else { profile.join("+") };
                 format!("stress {variant} [{profile}]")
+            }
+            ScenarioKind::Hunt { variant } => {
+                let mut parts: Vec<&str> =
+                    self.impairments.iter().map(ImpairmentSpec::tag).collect();
+                parts.extend(self.schedule.iter().map(AdminWindowSpec::tag));
+                let profile =
+                    if parts.is_empty() { "baseline".to_owned() } else { parts.join("+") };
+                format!("hunt {variant} [{profile}]")
             }
         }
     }
@@ -570,6 +675,44 @@ mod tests {
         let explicit = ScenarioSpec { impairments: Vec::new(), ..legacy.clone() };
         assert_eq!(legacy.content_hash(), explicit.content_hash());
         assert_eq!(legacy.hash_hex(), "adbc5eaf101c1722");
+    }
+
+    #[test]
+    fn empty_schedule_is_hash_transparent() {
+        // The adversary-schedule field postdates every cached spec; an
+        // empty schedule must encode to nothing so the pinned hash (and
+        // with it every pre-existing cache key) survives the addition.
+        let legacy = fairness_spec(8, 1);
+        let explicit = ScenarioSpec { schedule: Vec::new(), ..legacy.clone() };
+        assert_eq!(legacy.content_hash(), explicit.content_hash());
+        assert_eq!(legacy.hash_hex(), "adbc5eaf101c1722");
+    }
+
+    #[test]
+    fn schedule_moves_the_hash_and_order_matters() {
+        let base =
+            ScenarioSpec::new(ScenarioKind::Hunt { variant: Variant::TcpPr }, PlanSpec::Smoke);
+        let down = AdminWindowSpec::Down { at_ms: 500, dur_ms: 200 };
+        let delay = AdminWindowSpec::Delay { at_ms: 1500, dur_ms: 300, delay_ms: 80 };
+        let a = base.clone().with_schedule(vec![down, delay]);
+        let b = base.clone().with_schedule(vec![delay, down]);
+        assert_ne!(base.content_hash(), a.content_hash(), "schedule is execution-relevant");
+        assert_ne!(a.content_hash(), b.content_hash(), "window order is execution-relevant");
+        let moved =
+            base.with_schedule(vec![AdminWindowSpec::Down { at_ms: 501, dur_ms: 200 }, delay]);
+        assert_ne!(a.content_hash(), moved.content_hash(), "placement is execution-relevant");
+    }
+
+    #[test]
+    fn hunt_labels_show_variant_and_windows() {
+        let spec =
+            ScenarioSpec::new(ScenarioKind::Hunt { variant: Variant::TcpPr }, PlanSpec::Smoke)
+                .with_impairments(vec![ImpairmentSpec::Jitter { prob: 0.5, max_extra_ms: 50 }])
+                .with_schedule(vec![AdminWindowSpec::Down { at_ms: 500, dur_ms: 200 }]);
+        let label = spec.label();
+        assert!(label.contains("hunt"), "{label}");
+        assert!(label.contains("jitter+down"), "{label}");
+        assert!(label.contains("TCP-PR"), "{label}");
     }
 
     #[test]

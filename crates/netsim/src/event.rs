@@ -168,6 +168,13 @@ impl EventQueue {
     pub fn peak_len(&self) -> usize {
         self.peak_len
     }
+
+    /// Number of pending [`EventKind::Arrive`] events — packets currently
+    /// in flight between a link's transmitter and its far end. Used by the
+    /// conservation check in [`crate::oracle`]; O(pending events).
+    pub fn pending_arrivals(&self) -> usize {
+        self.heap.iter().filter(|s| matches!(s.kind, EventKind::Arrive { .. })).count()
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +218,33 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pending_arrivals_counts_only_arrive_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.pending_arrivals(), 0);
+        q.schedule(SimTime::from_nanos(1), bp());
+        q.schedule(SimTime::from_nanos(2), EventKind::LinkReady { link: LinkId::from_raw(0) });
+        assert_eq!(q.pending_arrivals(), 0, "non-arrival events do not count");
+        let packet = crate::packet::Packet {
+            uid: 0,
+            flow: crate::ids::FlowId::from_raw(0),
+            src: NodeId::from_raw(0),
+            dst: NodeId::from_raw(1),
+            size_bytes: 1000,
+            kind: crate::packet::PacketKind::Data(crate::packet::DataHeader {
+                seq: 0,
+                is_retransmit: false,
+                tx_count: 1,
+                timestamp: SimTime::ZERO,
+            }),
+            injected_at: SimTime::ZERO,
+            hops: 0,
+            route: None,
+        };
+        q.schedule(SimTime::from_nanos(3), EventKind::Arrive { node: NodeId::from_raw(1), packet });
+        assert_eq!(q.pending_arrivals(), 1);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod event;
 pub mod ids;
 pub mod impair;
 pub mod link;
+pub mod oracle;
 pub mod packet;
 pub mod queue;
 pub mod routing;
@@ -51,6 +52,7 @@ pub use agent::{Agent, AgentCtx};
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
 pub use impair::{AdminEntry, ImpairStats, LinkAdmin, StageConfig};
 pub use link::LinkConfig;
+pub use oracle::{Snapshot, Violation};
 pub use packet::{AckHeader, DataHeader, Packet, PacketKind, ACK_PACKET_BYTES, DATA_PACKET_BYTES};
 pub use sim::{SimBuilder, SimStats, Simulator};
 pub use telemetry::{RunHealth, Sampler, TimeSeries};

@@ -37,6 +37,10 @@ pub struct SimStats {
     pub impair_dups: u64,
     /// Administrative link-down transitions executed.
     pub link_flaps: u64,
+    /// Events popped with an instant earlier than the current clock. Always
+    /// zero in a healthy run; a non-zero count is an event-core invariant
+    /// violation surfaced by [`crate::oracle::check`].
+    pub time_regressions: u64,
 }
 
 /// Builds the static topology for a [`Simulator`].
@@ -311,6 +315,26 @@ impl Simulator {
         self.events.peak_len()
     }
 
+    /// Captures the packet-accounting state the invariant oracle checks
+    /// (see [`crate::oracle`]): every terminal counter plus the packets
+    /// still parked in link queues or in flight on the wire. Valid at any
+    /// point the simulator is not mid-dispatch — i.e. whenever the caller
+    /// can invoke it.
+    pub fn invariant_snapshot(&self) -> crate::oracle::Snapshot {
+        crate::oracle::Snapshot {
+            injected: self.stats.injected,
+            duplicated: self.stats.impair_dups,
+            delivered: self.stats.delivered,
+            no_route_drops: self.stats.no_route_drops,
+            queue_drops: self.stats.queue_drops,
+            random_losses: self.stats.random_losses,
+            impair_drops: self.stats.impair_drops,
+            queued: self.links.iter().map(|l| l.queued() as u64).sum(),
+            in_flight: self.events.pending_arrivals() as u64,
+            time_regressions: self.stats.time_regressions,
+        }
+    }
+
     fn trace_packet(&mut self, packet: &Packet, kind: TraceEventKind) {
         let Some(tracer) = &mut self.tracer else { return };
         if !tracer.wants(packet.flow) {
@@ -443,8 +467,14 @@ impl Simulator {
                 break;
             }
             let (at, kind) = self.events.pop().expect("peeked event exists");
-            debug_assert!(at >= self.now, "time must not go backwards");
-            self.now = at;
+            if at < self.now {
+                // Time must not go backwards. Count instead of panicking so
+                // the invariant oracle can report it (and the adversary can
+                // hunt for it); the clock clamps at its current value.
+                self.stats.time_regressions += 1;
+            } else {
+                self.now = at;
+            }
             self.stats.events += 1;
             self.dispatch_profiled(kind);
         }
@@ -466,7 +496,11 @@ impl Simulator {
     pub fn run_to_quiescence(&mut self) -> SimTime {
         self.start();
         while let Some((at, kind)) = self.events.pop() {
-            self.now = at;
+            if at < self.now {
+                self.stats.time_regressions += 1;
+            } else {
+                self.now = at;
+            }
             self.stats.events += 1;
             self.dispatch_profiled(kind);
         }

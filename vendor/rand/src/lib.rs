@@ -104,6 +104,35 @@ macro_rules! impl_int_range {
 
 impl_int_range!(u8, u16, u32, u64, usize);
 
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Wrapping difference gives the span as the unsigned twin
+                // even across zero.
+                let span = self.end.wrapping_sub(self.start) as u64;
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(r as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = end.wrapping_sub(start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let r = ((rng.next_u64() as u128 * (span + 1) as u128) >> 64) as u64;
+                start.wrapping_add(r as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
 impl SampleRange<f64> for core::ops::Range<f64> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "cannot sample empty range");
