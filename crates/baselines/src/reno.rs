@@ -259,6 +259,9 @@ impl RenoSender {
 
     fn enter_fast_retransmit(&mut self, now: SimTime, out: &mut SenderOutput) {
         self.stats.fast_retransmits += 1;
+        obs::span(now.as_nanos(), "cc.fast_rtx", || {
+            format!("algo=reno seq={} dupacks={} cwnd={:.2}", self.snd_una, self.dupacks, self.cwnd)
+        });
         self.last_reduction = Some(ReductionRecord {
             prior_cwnd: self.cwnd,
             prior_ssthresh: self.ssthresh,
@@ -379,6 +382,9 @@ impl TcpSenderAlgo for RenoSender {
             return;
         }
         self.stats.timeouts += 1;
+        obs::span(now.as_nanos(), "cc.rto_expiry", || {
+            format!("algo=reno una={} flight={}", self.snd_una, self.flight())
+        });
         self.last_reduction = Some(ReductionRecord {
             prior_cwnd: self.cwnd,
             prior_ssthresh: self.ssthresh,

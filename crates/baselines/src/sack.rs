@@ -210,9 +210,12 @@ impl SackSender {
         self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
     }
 
-    fn maybe_enter_recovery(&mut self, out: &mut SenderOutput) {
+    fn maybe_enter_recovery(&mut self, now: SimTime, out: &mut SenderOutput) {
         if self.state == State::Open && self.lost.contains(&self.snd_una) {
             self.stats.recoveries += 1;
+            obs::span(now.as_nanos(), "cc.fast_rtx", || {
+                format!("algo=sack seq={} cwnd={:.2}", self.snd_una, self.cwnd)
+            });
             self.ssthresh = (self.cwnd / 2.0).max(2.0);
             self.cwnd = self.ssthresh;
             self.state = State::Recovery { recover: self.snd_nxt };
@@ -278,7 +281,7 @@ impl TcpSenderAlgo for SackSender {
             }
         }
         self.update_scoreboard(ack);
-        self.maybe_enter_recovery(out);
+        self.maybe_enter_recovery(now, out);
         self.send_allowed(now, out);
         if advanced {
             self.arm_rto(now, out);
@@ -290,6 +293,9 @@ impl TcpSenderAlgo for SackSender {
             return;
         }
         self.stats.timeouts += 1;
+        obs::span(now.as_nanos(), "cc.rto_expiry", || {
+            format!("algo=sack una={} flight={}", self.snd_una, self.snd_nxt - self.snd_una)
+        });
         self.ssthresh = (((self.snd_nxt - self.snd_una) as f64) / 2.0).max(2.0);
         self.cwnd = 1.0;
         self.state = State::Open;

@@ -400,6 +400,9 @@ impl BbrSender {
         if self.recovery.is_none() && self.lost.contains(&self.snd_una) {
             self.stats.fast_retransmits += 1;
             self.recovery = Some(self.snd_nxt);
+            obs::span(now.as_nanos(), "cc.fast_rtx", || {
+                format!("algo=bbr seq={} cwnd={:.2}", self.snd_una, self.cwnd)
+            });
             obs::span(now.as_nanos(), "bbr.recovery_enter", || {
                 format!("una={} recover={} flight={}", self.snd_una, self.snd_nxt, self.flight())
             });
@@ -678,6 +681,9 @@ impl TcpSenderAlgo for BbrSender {
             return;
         }
         self.stats.timeouts += 1;
+        obs::span(now.as_nanos(), "cc.rto_expiry", || {
+            format!("algo=bbr una={} flight={}", self.snd_una, self.snd_nxt - self.snd_una)
+        });
         self.dupacks = 0;
         self.rto.backoff();
         // Everything unsacked is presumed lost and retransmits in order as

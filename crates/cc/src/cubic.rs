@@ -281,6 +281,12 @@ impl CubicSender {
 
     fn enter_fast_retransmit(&mut self, now: SimTime, out: &mut SenderOutput) {
         self.stats.fast_retransmits += 1;
+        obs::span(now.as_nanos(), "cc.fast_rtx", || {
+            format!(
+                "algo=cubic seq={} dupacks={} cwnd={:.2}",
+                self.snd_una, self.dupacks, self.cwnd
+            )
+        });
         self.reduce(now);
         self.cwnd = self.ssthresh;
         self.state = State::Recovery { recover: self.snd_nxt };
@@ -380,6 +386,9 @@ impl TcpSenderAlgo for CubicSender {
             return;
         }
         self.stats.timeouts += 1;
+        obs::span(now.as_nanos(), "cc.rto_expiry", || {
+            format!("algo=cubic una={} flight={}", self.snd_una, self.flight())
+        });
         self.reduce(now);
         self.cwnd = 1.0;
         self.dupacks = 0;

@@ -320,6 +320,7 @@ impl TcpSenderAlgo for TcpPrSender {
         // Progress ends any extreme-loss episode and the current drop burst.
         if self.backoff.take().is_some() {
             self.paused_until = None;
+            obs::span(now.as_nanos(), "tcppr.backoff_clear", || format!("cum_ack={}", ack.cum_ack));
         }
         self.cburst = 0;
         // RTT sample: Table 1 uses "the RTT for the packet whose

@@ -44,13 +44,24 @@
 //!   impairment pipelines and link-admin windows minimizing the chosen
 //!   objective, followed by delta-debugging shrinking of any counterexample
 //!   found. Writes `results/hunt.json` plus a replayable minimal spec under
-//!   `results/counterexamples/` — all byte-identical at any `--jobs`.
+//!   `results/counterexamples/` — all byte-identical at any `--jobs`. A
+//!   found counterexample is immediately post-mortemed (see `explain`).
+//! - `repro explain <counterexample.json>… [--jobs N]` replays a pinned
+//!   counterexample in forensic mode (full packet trace, flow-tagged CC
+//!   spans, sampled time series) and runs the [`forensics`] incident /
+//!   root-cause analysis, writing `results/explain/<content_hash>.json` —
+//!   byte-identical at any `--jobs` count.
+//! - `repro replay <counterexample.json>…` re-runs pinned counterexamples
+//!   (and their empty-schedule baselines) without capture and exits
+//!   non-zero if any no longer degrades past its threshold — the
+//!   regression gate over `tests/fixtures/`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use experiments::bench;
+use experiments::explain;
 use experiments::hunt;
 use experiments::sweep::grids::{all_figures, selectors, FigureGrid};
 use experiments::sweep::{
@@ -181,17 +192,23 @@ fn parse_args() -> Cli {
         eprintln!("error: --resume and --no-cache contradict each other");
         exit(2);
     }
-    for w in &cli.which {
-        if w != "all"
-            && w != "bench-sweep"
-            && w != "profile"
-            && w != "bench-check"
-            && w != "hunt"
-            && !selectors().contains(&w.as_str())
-        {
-            eprintln!("error: unknown selector {w}");
-            print_listing();
-            exit(2);
+    // `explain` and `replay` take file paths as positionals, so selector
+    // validation only applies to the figure-grid command forms.
+    let file_command =
+        cli.which.iter().any(|w| w == "explain") || cli.which.iter().any(|w| w == "replay");
+    if !file_command {
+        for w in &cli.which {
+            if w != "all"
+                && w != "bench-sweep"
+                && w != "profile"
+                && w != "bench-check"
+                && w != "hunt"
+                && !selectors().contains(&w.as_str())
+            {
+                eprintln!("error: unknown selector {w}");
+                print_listing();
+                exit(2);
+            }
         }
     }
     cli
@@ -218,6 +235,8 @@ fn print_listing() {
     println!(" {:<15} profiled re-run of the named grids -> results/profile.json", "profile");
     println!(" {:<15} perf-regression gate over BENCH_sweep.json", "bench-check");
     println!(" {:<15} adversarial schedule search -> results/hunt.json", "hunt");
+    println!(" {:<15} counterexample post-mortem -> results/explain/<hash>.json", "explain <file>");
+    println!(" {:<15} re-check a pinned counterexample still degrades", "replay <file…>");
 }
 
 /// `fs::create_dir_all` with an error message naming the offending path.
@@ -404,7 +423,6 @@ fn run_profile(cli: &Cli, ctx: &ExecCtx) -> bool {
     let report = run_sweep(&specs, ctx, &opts);
     let wall_s = t0.elapsed().as_secs_f64();
     obs::disable();
-    eprintln!("[profile] done: {}", report.summary());
     if report.crashed > 0 {
         eprintln!("error: [profile] {} scenario(s) crashed — artifact not written", report.crashed);
         return false;
@@ -416,6 +434,10 @@ fn run_profile(cli: &Cli, ctx: &ExecCtx) -> bool {
     for r in &report.runs {
         merged.merge(&r.profile);
     }
+    // Artifact key order is part of the interface (asserted by the e2e
+    // determinism tests): the fully deterministic section first, then the
+    // clearly labelled wall-clock section, so a byte-diff of two runs only
+    // ever disagrees inside `wall_clock_nondeterministic`.
     let mut wall_section = match merged.wall_clock_value() {
         Value::Object(fields) => fields,
         _ => unreachable!("wall_clock_value always builds an object"),
@@ -429,15 +451,25 @@ fn run_profile(cli: &Cli, ctx: &ExecCtx) -> bool {
     let path = Path::new("results/profile.json");
     write_artifact_or_exit(path, &serde_json::to_string_pretty(&artifact).expect("total"));
 
-    println!("profile: {} scenarios, {} spans", specs.len(), merged.spans.len());
-    println!("  {:<24} {:>12}", "event kind", "dispatches");
+    // The terminal output mirrors the artifact's split: the deterministic
+    // tables are assembled in one buffer and flushed to stdout *before* any
+    // wall-clock line goes to stderr — with both streams on one terminal
+    // (or `2>&1`), timing lines can no longer interleave with table rows.
+    use std::fmt::Write as _;
+    use std::io::Write as _;
+    let mut tables = String::new();
+    let _ = writeln!(tables, "profile: {} scenarios, {} spans", specs.len(), merged.spans.len());
+    let _ = writeln!(tables, "  {:<24} {:>12}", "event kind", "dispatches");
     for (key, count) in merged.counters.iter().filter(|(k, _)| k.starts_with("event.")) {
-        println!("  {:<24} {:>12}", key, count);
+        let _ = writeln!(tables, "  {:<24} {:>12}", key, count);
     }
-    println!("  {:<24} {:>12}", "span kind", "count");
+    let _ = writeln!(tables, "  {:<24} {:>12}", "span kind", "count");
     for (kind, count) in &merged.span_counts {
-        println!("  {:<24} {:>12}", kind, count);
+        let _ = writeln!(tables, "  {:<24} {:>12}", kind, count);
     }
+    print!("{tables}");
+    let _ = std::io::stdout().flush();
+    eprintln!("[profile] done: {}", report.summary());
     eprintln!("[profile] artifact -> {}", path.display());
     true
 }
@@ -548,6 +580,16 @@ fn run_hunt(cli: &Cli) -> i32 {
                         minimal.size(),
                         path.display()
                     );
+                    // Post-mortem the find while it's hot. A failed explain
+                    // is a warning, never a failed hunt: the counterexample
+                    // itself is already pinned.
+                    match explain::run_explain(path, cli.jobs) {
+                        Ok(r) => {
+                            print!("{}", r.rendering);
+                            println!("hunt: post-mortem -> {}", r.path.display());
+                        }
+                        Err(e) => eprintln!("warning: hunt: explain failed: {e}"),
+                    }
                 }
                 _ => println!("hunt: no counterexample within budget"),
             }
@@ -561,14 +603,81 @@ fn run_hunt(cli: &Cli) -> i32 {
     }
 }
 
+/// `repro explain <counterexample.json>…`: forensic post-mortems. Returns
+/// the process exit code.
+fn run_explain_cmd(cli: &Cli) -> i32 {
+    let files: Vec<&String> = cli.which.iter().filter(|w| *w != "explain").collect();
+    if files.is_empty() {
+        eprintln!("error: explain needs a counterexample file (results/counterexamples/*.json)");
+        return 2;
+    }
+    let mut code = 0;
+    for f in files {
+        eprintln!("[explain] {f} ({} workers)", cli.jobs);
+        match explain::run_explain(Path::new(f), cli.jobs) {
+            Ok(r) => {
+                print!("{}", r.rendering);
+                println!("explain: report -> {}", r.path.display());
+            }
+            Err(e) => {
+                eprintln!("error: explain: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+/// `repro replay <counterexample.json>…`: re-checks that pinned
+/// counterexamples still degrade past their thresholds. Exit code 1 when
+/// any fails to reproduce (or to run) — the fixture regression gate.
+fn run_replay_cmd(cli: &Cli) -> i32 {
+    let files: Vec<&String> = cli.which.iter().filter(|w| *w != "replay").collect();
+    if files.is_empty() {
+        eprintln!("error: replay needs a counterexample file (tests/fixtures/*.json)");
+        return 2;
+    }
+    let mut code = 0;
+    for f in files {
+        match explain::run_replay(Path::new(f)) {
+            Ok(r) => {
+                println!(
+                    "replay: {f}: {} baseline {:.4} threshold {:.4} value {:.4} -> {}",
+                    r.objective.name(),
+                    r.baseline_value,
+                    r.threshold,
+                    r.value,
+                    if r.reproduced { "still reproduces" } else { "NO LONGER REPRODUCES" }
+                );
+                if !r.reproduced {
+                    code = 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: replay: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
 fn main() {
     let cli = parse_args();
 
     // Standalone commands: the regression gate needs no sweep at all,
-    // `hunt` drives its own search loop, and `profile` consumes the
-    // remaining selectors as its grid list.
+    // `hunt` drives its own search loop, `explain` / `replay` consume the
+    // remaining positionals as counterexample files, and `profile` consumes
+    // them as its grid list.
     if cli.which.iter().any(|w| w == "bench-check") {
         exit(run_bench_check(&cli));
+    }
+    if cli.which.iter().any(|w| w == "explain") {
+        create_dir_or_exit(Path::new("results"), "results");
+        exit(run_explain_cmd(&cli));
+    }
+    if cli.which.iter().any(|w| w == "replay") {
+        exit(run_replay_cmd(&cli));
     }
     if cli.which.iter().any(|w| w == "hunt") {
         create_dir_or_exit(Path::new("results"), "results");
@@ -576,7 +685,7 @@ fn main() {
     }
     if cli.which.iter().any(|w| w == "profile") {
         create_dir_or_exit(Path::new("results"), "results");
-        let ctx = ExecCtx { telemetry_dir: None };
+        let ctx = ExecCtx { telemetry_dir: None, forensics: None };
         exit(if run_profile(&cli, &ctx) { 0 } else { 1 });
     }
 
@@ -587,7 +696,7 @@ fn main() {
     if let Some(dir) = &cli.telemetry_dir {
         create_dir_or_exit(dir, "telemetry");
     }
-    let ctx = ExecCtx { telemetry_dir: cli.telemetry_dir.clone() };
+    let ctx = ExecCtx { telemetry_dir: cli.telemetry_dir.clone(), forensics: None };
 
     // `ext` (route flaps, MANET churn) is opt-in, as before; everything
     // else participates in `all`.

@@ -35,7 +35,7 @@ use adversary::search::{hill_climb, GenerationRecord, SearchConfig};
 use adversary::shrink::{shrink, ShrinkOutcome};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::Value;
+use serde::{Serialize, Value};
 
 use netsim::impair::{AdminEntry, LinkAdmin};
 use netsim::time::{SimDuration, SimTime};
@@ -488,6 +488,33 @@ fn window_entries(w: &AdminWindowSpec, default_delay: SimDuration) -> [AdminEntr
     }
 }
 
+/// Packet-trace capacity of a forensic hunt cell. A 4 s smoke cell on the
+/// stress dumbbell generates well under 200k lifecycle events, so the
+/// default `KeepFirst` buffer keeps everything; if a pathological candidate
+/// overflows it anyway, the overflow is reported (`dropped_trace_records`),
+/// never silent.
+const FORENSIC_TRACE_CAP: usize = 262_144;
+/// Span retention cap while a forensic cell runs (vs. [`obs::MAX_SPANS`]
+/// for plain profiling): CC state machines under adversarial schedules emit
+/// far more than 4096 decisions in 4 s.
+const FORENSIC_SPAN_CAP: usize = 65_536;
+/// Sampling period of the forensic time series.
+const FORENSIC_SAMPLE_MS: u64 = 100;
+
+/// Raw observability captured alongside a forensic hunt cell.
+pub(crate) struct CaptureOut {
+    /// Packet lifecycle events from the in-sim tracer.
+    pub trace: Vec<netsim::trace::TraceRecord>,
+    /// Lifecycle events the trace buffer could not retain.
+    pub dropped_trace: u64,
+    /// CC / admin spans drained from the executing thread.
+    pub spans: Vec<obs::SpanRecord>,
+    /// Spans not retained because [`FORENSIC_SPAN_CAP`] was reached.
+    pub spans_dropped: u64,
+    /// Sampled cwnd / srtt / rto / goodput / queue-depth series.
+    pub series: Vec<netsim::telemetry::TimeSeries>,
+}
+
 /// Runs one hunt cell: `variant` (flow 0) and a TCP-SACK rival (flow 1)
 /// share the stress dumbbell with its on-off cross traffic (flow 2), under
 /// the candidate's impairment pipeline and admin windows.
@@ -499,6 +526,24 @@ pub fn run_hunt_cell(
     plan: MeasurePlan,
     seed: u64,
 ) -> HuntCellResult {
+    run_cell_impl(variant, impairments, schedule, cfg, plan, seed, false).0
+}
+
+/// The shared cell body. With `forensic` set, the cell additionally enables
+/// full packet tracing, raises the span-retention cap, and drives the sim
+/// through a [`netsim::telemetry::Sampler`] so cwnd / srtt / rto / receive
+/// progress are captured as time series — all without perturbing the
+/// simulation itself (probes only read state on the sample grid), so the
+/// scalar [`HuntCellResult`] is identical either way.
+fn run_cell_impl(
+    variant: Variant,
+    impairments: &[ImpairmentSpec],
+    schedule: &[AdminWindowSpec],
+    cfg: StressConfig,
+    plan: MeasurePlan,
+    seed: u64,
+    forensic: bool,
+) -> (HuntCellResult, Option<CaptureOut>) {
     let mut d = dumbbell(seed, cfg.dumbbell);
     let until = SimTime::ZERO + plan.total();
 
@@ -531,6 +576,10 @@ pub fn run_hunt_cell(
     );
     d.sim.add_agent(d.dst, cross_flow, Box::new(netsim::traffic::CbrSink::new()));
 
+    if forensic {
+        d.sim.enable_trace(&[], FORENSIC_TRACE_CAP);
+    }
+
     let hunted = attach_flow(
         &mut d.sim,
         netsim::ids::FlowId::from_raw(0),
@@ -548,10 +597,53 @@ pub fn run_hunt_cell(
         FlowOptions::default(),
     );
 
-    d.sim.run_until(SimTime::ZERO + plan.warmup);
+    let mut sampler = None;
+    let mut prev_span_cap = None;
+    if forensic {
+        // Start from a clean thread-local profile so the drained spans
+        // belong to this cell only, and retain more spans than the plain
+        // profiling cap allows.
+        let _ = obs::take();
+        prev_span_cap = Some(obs::set_span_capacity(FORENSIC_SPAN_CAP));
+        let mut s = netsim::telemetry::Sampler::new(SimDuration::from_millis(FORENSIC_SAMPLE_MS));
+        s.add_probe(
+            "cwnd:hunted",
+            transport::telemetry::cwnd_probe::<Box<dyn TcpSenderAlgo>>(hunted.sender),
+        );
+        s.add_probe(
+            "srtt:hunted",
+            transport::telemetry::srtt_probe::<Box<dyn TcpSenderAlgo>>(hunted.sender),
+        );
+        s.add_probe(
+            "rto:hunted",
+            transport::telemetry::rto_probe::<Box<dyn TcpSenderAlgo>>(hunted.sender),
+        );
+        s.add_probe(
+            "cwnd:rival",
+            transport::telemetry::cwnd_probe::<Box<dyn TcpSenderAlgo>>(rival.sender),
+        );
+        let hunted_receiver = hunted.receiver;
+        s.add_probe(
+            "recv_bytes:hunted",
+            Box::new(move |sim: &netsim::sim::Simulator| {
+                receiver_host(sim, hunted_receiver).received_unique_bytes() as f64
+            }),
+        );
+        s.add_link_queue_depth(d.bottleneck);
+        sampler = Some(s);
+    }
+
+    let warmup_end = SimTime::ZERO + plan.warmup;
+    match sampler.as_mut() {
+        Some(s) => s.advance(&mut d.sim, warmup_end),
+        None => d.sim.run_until(warmup_end),
+    }
     let before_hunted = receiver_host(&d.sim, hunted.receiver).received_unique_bytes();
     let before_rival = receiver_host(&d.sim, rival.receiver).received_unique_bytes();
-    d.sim.run_until(until);
+    match sampler.as_mut() {
+        Some(s) => s.advance(&mut d.sim, until),
+        None => d.sim.run_until(until),
+    }
     let hunted_bytes =
         receiver_host(&d.sim, hunted.receiver).received_unique_bytes() - before_hunted;
     let rival_bytes = receiver_host(&d.sim, rival.receiver).received_unique_bytes() - before_rival;
@@ -569,7 +661,7 @@ pub fn run_hunt_cell(
     let violations = netsim::oracle::check(&snap);
     let tx = sender_host::<Box<dyn TcpSenderAlgo>>(&d.sim, hunted.sender).stats();
     let totals = d.sim.impair_totals();
-    HuntCellResult {
+    let cell = HuntCellResult {
         variant,
         profile: Candidate { impairments: impairments.to_vec(), schedule: schedule.to_vec() }
             .profile(),
@@ -581,7 +673,77 @@ pub fn run_hunt_cell(
         link_flaps: totals.flaps,
         oracle_violations: violations.len() as u64,
         time_regressions: snap.time_regressions,
+    };
+    let capture = sampler.map(|s| {
+        let report = obs::take();
+        if let Some(prev) = prev_span_cap {
+            obs::set_span_capacity(prev);
+        }
+        CaptureOut {
+            trace: d.sim.trace_records(),
+            dropped_trace: d.sim.dropped_trace_records(),
+            spans: report.spans,
+            spans_dropped: report.spans_dropped,
+            series: s.into_series(),
+        }
+    });
+    (cell, capture)
+}
+
+/// Runs one hunt cell in forensic mode and assembles the full `explain`
+/// payload: the scalar cell result, the re-measured objective value, the
+/// forensic [`forensics::Report`] (timeline + per-flow summaries +
+/// incidents), the sampled series, and a capture-health block recording
+/// trace / span retention so truncation is visible in every artifact.
+pub(crate) fn run_hunt_cell_forensic(
+    variant: Variant,
+    impairments: &[ImpairmentSpec],
+    schedule: &[AdminWindowSpec],
+    cfg: StressConfig,
+    plan: MeasurePlan,
+    seed: u64,
+    fctx: &crate::sweep::ForensicCtx,
+) -> Value {
+    let was_enabled = obs::enabled();
+    obs::enable();
+    let (cell, capture) = run_cell_impl(variant, impairments, schedule, cfg, plan, seed, true);
+    if !was_enabled {
+        obs::disable();
     }
+    let cap = capture.expect("forensic cell always captures");
+
+    let objective = fctx.objective.as_deref().and_then(Objective::from_name);
+    let value = objective.map(|o| o.value(&cell));
+    let ctx = forensics::WindowCtx {
+        window_start_ns: plan.warmup.as_nanos(),
+        window_end_ns: plan.total().as_nanos(),
+        hunted_flow: Some(0),
+        objective: fctx.objective.clone(),
+        value,
+        baseline_value: fctx.baseline_value,
+        threshold: fctx.threshold,
+    };
+    let report = forensics::analyze(&cap.trace, &cap.spans, &ctx);
+
+    Value::Object(vec![
+        ("cell".to_owned(), cell.to_value()),
+        ("objective_value".to_owned(), value.map_or(Value::Null, Value::Float)),
+        ("report".to_owned(), report.to_value()),
+        (
+            "series".to_owned(),
+            Value::Array(cap.series.iter().map(serde::Serialize::to_value).collect()),
+        ),
+        (
+            "capture".to_owned(),
+            Value::Object(vec![
+                ("trace_records".to_owned(), Value::UInt(cap.trace.len() as u64)),
+                ("dropped_trace_records".to_owned(), Value::UInt(cap.dropped_trace)),
+                ("trace_mode".to_owned(), Value::Str("keep_first".to_owned())),
+                ("spans".to_owned(), Value::UInt(cap.spans.len() as u64)),
+                ("spans_dropped".to_owned(), Value::UInt(cap.spans_dropped)),
+            ]),
+        ),
+    ])
 }
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@
 
 pub mod ablations;
 pub mod bench;
+pub mod explain;
 pub mod figures;
 pub mod hunt;
 pub mod manet;

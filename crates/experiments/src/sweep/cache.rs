@@ -98,6 +98,10 @@ impl Cache {
             peak_event_heap: decode::get(work, "peak_event_heap").and_then(decode::as_u64)?,
             dropped_trace_records: decode::get(work, "dropped_trace_records")
                 .and_then(decode::as_u64)?,
+            traced_keep_first_sims: decode::get(work, "traced_keep_first_sims")
+                .and_then(decode::as_u64)?,
+            traced_keep_latest_sims: decode::get(work, "traced_keep_latest_sims")
+                .and_then(decode::as_u64)?,
             impair_drops: decode::get(work, "impair_drops").and_then(decode::as_u64)?,
             impair_dups: decode::get(work, "impair_dups").and_then(decode::as_u64)?,
             impair_reorders: decode::get(work, "impair_reorders").and_then(decode::as_u64)?,
@@ -134,6 +138,14 @@ impl Cache {
                     (
                         "dropped_trace_records".to_owned(),
                         Value::UInt(run.work.dropped_trace_records),
+                    ),
+                    (
+                        "traced_keep_first_sims".to_owned(),
+                        Value::UInt(run.work.traced_keep_first_sims),
+                    ),
+                    (
+                        "traced_keep_latest_sims".to_owned(),
+                        Value::UInt(run.work.traced_keep_latest_sims),
                     ),
                     ("impair_drops".to_owned(), Value::UInt(run.work.impair_drops)),
                     ("impair_dups".to_owned(), Value::UInt(run.work.impair_dups)),
@@ -196,6 +208,8 @@ mod tests {
                 events_processed: 12345,
                 peak_event_heap: 67,
                 dropped_trace_records: 0,
+                traced_keep_first_sims: 1,
+                traced_keep_latest_sims: 0,
                 impair_drops: 3,
                 impair_dups: 2,
                 impair_reorders: 5,

@@ -31,6 +31,22 @@ pub struct ExecCtx {
     /// (the repro binary's `--telemetry-dir`). `None` disables tracing even
     /// for specs that request it.
     pub telemetry_dir: Option<PathBuf>,
+    /// When set, hunt scenarios run in forensic mode: full packet tracing,
+    /// flow-tagged span capture, sampled time series, and a
+    /// [`forensics`](::forensics) report replace the bare scalar outcome.
+    pub forensics: Option<ForensicCtx>,
+}
+
+/// Counterexample context threaded into forensic hunt cells so the
+/// objective-degradation detector knows what the run was accused of.
+#[derive(Debug, Default, Clone)]
+pub struct ForensicCtx {
+    /// Objective name from the counterexample doc (`goodput`, …).
+    pub objective: Option<String>,
+    /// Healthy baseline value of that objective.
+    pub baseline_value: Option<f64>,
+    /// Degradation threshold the counterexample beat.
+    pub threshold: Option<f64>,
 }
 
 impl ExecCtx {
@@ -140,6 +156,17 @@ pub fn execute(spec: &ScenarioSpec, ctx: &ExecCtx) -> Value {
             serde::Serialize::to_value(&r)
         }
         ScenarioKind::Hunt { variant } => {
+            if let Some(fctx) = &ctx.forensics {
+                return hunt::run_hunt_cell_forensic(
+                    *variant,
+                    &spec.impairments,
+                    &spec.schedule,
+                    StressConfig::default(),
+                    plan,
+                    seed,
+                    fctx,
+                );
+            }
             let r = hunt::run_hunt_cell(
                 *variant,
                 &spec.impairments,

@@ -26,7 +26,7 @@ pub mod pool;
 pub mod spec;
 
 pub use cache::{Cache, CachePolicy, CachedRun, DEFAULT_CACHE_DIR};
-pub use exec::{execute, ExecCtx};
+pub use exec::{execute, ExecCtx, ForensicCtx};
 pub use grids::{all_figures, FigureGrid};
 pub use pool::{run_sweep, RunOutcome, ScenarioRun, SweepOptions, SweepReport};
 pub use spec::{

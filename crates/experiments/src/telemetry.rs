@@ -117,12 +117,15 @@ mod tests {
             events_processed: 512,
             peak_event_heap: 31,
             dropped_trace_records: 0,
+            traced_keep_first_sims: 1,
+            traced_keep_latest_sims: 0,
             impair_drops: 4,
             impair_dups: 1,
             impair_reorders: 6,
             link_flaps: 2,
         };
         assert!(artifact_json(&[0.0], &work).contains("\"impair_drops\""));
+        assert!(artifact_json(&[0.0], &work).contains("\"traced_keep_first_sims\""));
         let rows = vec![1.0_f64, 2.0];
         let json = artifact_json(&rows, &work);
         assert!(json.contains("\"results\""));

@@ -78,6 +78,13 @@ impl Variant {
         Variant::ALL.into_iter().find(|v| format!("{v:?}") == name)
     }
 
+    /// The inverse of [`Variant::label`]: resolves a variant from its paper
+    /// legend name (`"TCP-PR"`, `"BBR"`, …). Used by `repro explain` when
+    /// rehydrating counterexample docs, which store labels.
+    pub fn from_label(label: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| v.label() == label)
+    }
+
     /// Display label (matches the paper's figure legends where applicable).
     pub fn label(self) -> &'static str {
         match self {

@@ -1,0 +1,540 @@
+//! Incident detection and rule-based root-cause classification.
+//!
+//! Five structural detectors run over the joined streams — admin outages,
+//! RTO storms, reorder-triggered spurious backoff, pacing stalls and
+//! goodput-collapse windows — plus one objective-level detector that fires
+//! whenever the scenario's measured value fell below its counterexample
+//! threshold. Each incident carries a **cause chain**: a root (what
+//! happened to the network), a mechanism (how the sender reacted) and an
+//! effect, e.g. `admin.down → rto_expiry → cwnd_collapse` for a
+//! dup-ack/RTO sender knocked out by an outage, versus
+//! `displacement → dupack_burst → spurious_fast_rtx` for a sender fooled
+//! by reordering — the distinction TCP-PR's timer-driven detection exists
+//! to demonstrate.
+//!
+//! All rules are pure functions of the inputs with total orderings at
+//! every step, so the incident list is byte-stable across runs.
+
+use std::collections::BTreeMap;
+
+use netsim::trace::{TraceEventKind, TraceRecord};
+use obs::SpanRecord;
+use serde::Value;
+
+/// Clustering / evidence radius: events within this horizon are treated as
+/// causally adjacent. One second comfortably covers the RTOs and backoff
+/// intervals the smoke scenarios produce.
+const NEAR_NS: u64 = 1_000_000_000;
+
+/// Bin width for goodput-collapse detection.
+const BIN_NS: u64 = 250_000_000;
+
+/// Minimum cluster size for an RTO storm.
+const STORM_MIN: usize = 3;
+
+/// Pacer-release gap that counts as a stall.
+const STALL_NS: u64 = 500_000_000;
+
+/// Measurement-window context for the detectors: where the scored window
+/// sat in sim time, which flow was hunted, and how the scenario scored
+/// against its counterexample threshold (when replaying one).
+#[derive(Debug, Clone, Default)]
+pub struct WindowCtx {
+    /// Start of the measurement window (after warmup), ns.
+    pub window_start_ns: u64,
+    /// End of the measurement window, ns.
+    pub window_end_ns: u64,
+    /// The flow under investigation (the hunted variant's flow).
+    pub hunted_flow: Option<u64>,
+    /// Objective name when explaining a counterexample (`goodput`, …).
+    pub objective: Option<String>,
+    /// Measured objective value of this run.
+    pub value: Option<f64>,
+    /// The healthy baseline value the threshold derives from.
+    pub baseline_value: Option<f64>,
+    /// Degradation threshold the counterexample was required to beat.
+    pub threshold: Option<f64>,
+}
+
+/// One detected incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Incident class, e.g. `"rto_storm"` or `"admin_outage"`.
+    pub kind: String,
+    /// Affected flow; `None` for network-wide incidents.
+    pub flow: Option<u64>,
+    /// Start of the incident window, ns.
+    pub start_ns: u64,
+    /// End of the incident window, ns.
+    pub end_ns: u64,
+    /// Human-readable evidence summary.
+    pub detail: String,
+    /// Root-cause chain, root first, e.g.
+    /// `["admin.down", "rto_expiry", "cwnd_collapse"]`.
+    pub cause_chain: Vec<String>,
+}
+
+impl Incident {
+    /// Serializes one incident.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![("kind".to_owned(), Value::Str(self.kind.clone()))];
+        if let Some(flow) = self.flow {
+            fields.push(("flow".to_owned(), Value::UInt(flow)));
+        }
+        fields.push(("start_ns".to_owned(), Value::UInt(self.start_ns)));
+        fields.push(("end_ns".to_owned(), Value::UInt(self.end_ns)));
+        fields.push((
+            "cause_chain".to_owned(),
+            Value::Array(self.cause_chain.iter().map(|c| Value::Str(c.clone())).collect()),
+        ));
+        fields.push(("detail".to_owned(), Value::Str(self.detail.clone())));
+        Value::Object(fields)
+    }
+}
+
+/// Pre-indexed evidence the detectors and the classifier share.
+struct Evidence {
+    /// Link-down windows `(start, end)`, paired from `admin.*` spans.
+    outages: Vec<(u64, u64)>,
+    /// Per-flow sorted drop timestamps by cause.
+    queue_drops: BTreeMap<u64, Vec<u64>>,
+    random_losses: BTreeMap<u64, Vec<u64>>,
+    impair_drops: BTreeMap<u64, Vec<u64>>,
+    /// Per-flow sorted timestamps of late (reordered) data deliveries.
+    late_deliveries: BTreeMap<u64, Vec<u64>>,
+    /// Per-flow data deliveries `(at_ns)`, for goodput binning.
+    deliveries: BTreeMap<u64, Vec<u64>>,
+    /// Per-flow spans by kind, each timestamp-sorted.
+    spans: BTreeMap<u64, BTreeMap<&'static str, Vec<u64>>>,
+}
+
+fn count_in(sorted: Option<&Vec<u64>>, from_ns: u64, to_ns: u64) -> u64 {
+    let Some(v) = sorted else { return 0 };
+    let lo = v.partition_point(|&t| t < from_ns);
+    let hi = v.partition_point(|&t| t <= to_ns);
+    (hi - lo) as u64
+}
+
+impl Evidence {
+    fn build(trace: &[TraceRecord], spans: &[SpanRecord], end_ns: u64) -> Evidence {
+        let mut ev = Evidence {
+            outages: Vec::new(),
+            queue_drops: BTreeMap::new(),
+            random_losses: BTreeMap::new(),
+            impair_drops: BTreeMap::new(),
+            late_deliveries: BTreeMap::new(),
+            deliveries: BTreeMap::new(),
+            spans: BTreeMap::new(),
+        };
+        let mut highest_seq: BTreeMap<u64, u64> = BTreeMap::new();
+        for r in trace {
+            let flow = r.flow.index() as u64;
+            let at = r.at.as_nanos();
+            match r.kind {
+                TraceEventKind::QueueDrop(_) => ev.queue_drops.entry(flow).or_default().push(at),
+                TraceEventKind::RandomLoss(_) => ev.random_losses.entry(flow).or_default().push(at),
+                TraceEventKind::ImpairDrop(_) => ev.impair_drops.entry(flow).or_default().push(at),
+                TraceEventKind::Delivered(_) if !r.is_ack => {
+                    ev.deliveries.entry(flow).or_default().push(at);
+                    if let Some(seq) = r.seq {
+                        let hi = highest_seq.entry(flow).or_insert(0);
+                        if seq < *hi {
+                            ev.late_deliveries.entry(flow).or_default().push(at);
+                        } else {
+                            *hi = seq;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Pair admin.down with the next admin.up of the same link. An
+        // unpaired down runs to the end of the horizon.
+        let mut down_at: BTreeMap<String, u64> = BTreeMap::new();
+        for s in spans {
+            match s.kind {
+                "admin.down" => {
+                    down_at.entry(s.detail.clone()).or_insert(s.at_ns);
+                }
+                "admin.up" => {
+                    if let Some(start) = down_at.remove(&s.detail) {
+                        ev.outages.push((start, s.at_ns));
+                    }
+                }
+                _ => {}
+            }
+            if let Some(flow) = s.flow {
+                ev.spans.entry(flow).or_default().entry(s.kind).or_default().push(s.at_ns);
+            }
+        }
+        for (_, start) in down_at {
+            ev.outages.push((start, end_ns));
+        }
+        ev.outages.sort_unstable();
+        for v in ev
+            .queue_drops
+            .values_mut()
+            .chain(ev.random_losses.values_mut())
+            .chain(ev.impair_drops.values_mut())
+            .chain(ev.late_deliveries.values_mut())
+            .chain(ev.deliveries.values_mut())
+        {
+            v.sort_unstable();
+        }
+        for per_kind in ev.spans.values_mut() {
+            for v in per_kind.values_mut() {
+                v.sort_unstable();
+            }
+        }
+        ev
+    }
+
+    fn overlaps_outage(&self, from_ns: u64, to_ns: u64) -> bool {
+        self.outages.iter().any(|&(s, e)| s <= to_ns && e >= from_ns)
+    }
+
+    fn drops_near(&self, flow: u64, from_ns: u64, to_ns: u64) -> (u64, u64, u64) {
+        (
+            count_in(self.impair_drops.get(&flow), from_ns, to_ns),
+            count_in(self.queue_drops.get(&flow), from_ns, to_ns),
+            count_in(self.random_losses.get(&flow), from_ns, to_ns),
+        )
+    }
+
+    fn lates_near(&self, flow: u64, from_ns: u64, to_ns: u64) -> u64 {
+        count_in(self.late_deliveries.get(&flow), from_ns, to_ns)
+    }
+
+    fn flow_spans(&self, flow: u64, kind: &str) -> &[u64] {
+        self.spans
+            .get(&flow)
+            .and_then(|per_kind| per_kind.get(kind))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn spans_in(&self, flow: u64, kind: &str, from_ns: u64, to_ns: u64) -> u64 {
+        let v = self.flow_spans(flow, kind);
+        let lo = v.partition_point(|&t| t < from_ns);
+        let hi = v.partition_point(|&t| t <= to_ns);
+        (hi - lo) as u64
+    }
+
+    /// The network-side root cause for trouble a flow saw in a window:
+    /// outage > impairment drops > queue drops > random loss > reordering.
+    fn root_cause(&self, flow: u64, from_ns: u64, to_ns: u64) -> String {
+        if self.overlaps_outage(from_ns, to_ns) {
+            return "admin.down".to_owned();
+        }
+        let lo = from_ns.saturating_sub(NEAR_NS);
+        let (impair, queue, random) = self.drops_near(flow, lo, to_ns);
+        if impair > 0 && impair >= queue && impair >= random {
+            return "impair_drop".to_owned();
+        }
+        if queue > 0 && queue >= random {
+            return "queue_drop".to_owned();
+        }
+        if random > 0 {
+            return "random_loss".to_owned();
+        }
+        if self.lates_near(flow, lo, to_ns) > 0 {
+            return "displacement".to_owned();
+        }
+        "unknown".to_owned()
+    }
+
+    /// The sender-side mechanism active for a flow in a window.
+    fn mechanism(&self, flow: u64, from_ns: u64, to_ns: u64) -> String {
+        let rto = self.spans_in(flow, "cc.rto_expiry", from_ns, to_ns);
+        let backoff = self.spans_in(flow, "tcppr.backoff_double", from_ns, to_ns)
+            + self.spans_in(flow, "tcppr.extreme_loss", from_ns, to_ns);
+        let fast = self.spans_in(flow, "cc.fast_rtx", from_ns, to_ns);
+        if rto > 0 && rto >= backoff && rto >= fast {
+            "rto_expiry".to_owned()
+        } else if backoff > 0 && backoff >= fast {
+            "timer_backoff".to_owned()
+        } else if fast > 0 {
+            "dupack_burst".to_owned()
+        } else if self.spans_in(flow, "tcppr.halve", from_ns, to_ns) > 0 {
+            "timer_halve".to_owned()
+        } else {
+            "starvation".to_owned()
+        }
+    }
+}
+
+/// Clusters sorted timestamps: points within `NEAR_NS` of the previous one
+/// share a cluster.
+fn clusters(times: &[u64]) -> Vec<(u64, u64, usize)> {
+    let mut out = Vec::new();
+    let mut iter = times.iter().copied();
+    let Some(first) = iter.next() else { return out };
+    let (mut start, mut last, mut n) = (first, first, 1usize);
+    for t in iter {
+        if t.saturating_sub(last) <= NEAR_NS {
+            last = t;
+            n += 1;
+        } else {
+            out.push((start, last, n));
+            start = t;
+            last = t;
+            n = 1;
+        }
+    }
+    out.push((start, last, n));
+    out
+}
+
+/// Runs every detector and returns the incidents ordered by
+/// `(start, end, kind, flow)`.
+pub fn detect(trace: &[TraceRecord], spans: &[SpanRecord], ctx: &WindowCtx) -> Vec<Incident> {
+    let ev = Evidence::build(trace, spans, ctx.window_end_ns);
+    let mut out: Vec<Incident> = Vec::new();
+
+    // 1. Administrative outages: every paired (or unterminated) link-down
+    // window is an incident of its own; overlap with per-flow incidents is
+    // what promotes "admin.down" to their root cause.
+    for &(start, end) in &ev.outages {
+        out.push(Incident {
+            kind: "admin_outage".to_owned(),
+            flow: None,
+            start_ns: start,
+            end_ns: end,
+            detail: format!("link down for {} ms", (end - start) / 1_000_000),
+            cause_chain: vec!["admin.down".to_owned(), "tx_blackout".to_owned()],
+        });
+    }
+
+    let flows: Vec<u64> = ev.spans.keys().copied().chain(ev.deliveries.keys().copied()).collect();
+    let mut flows: Vec<u64> = flows;
+    flows.sort_unstable();
+    flows.dedup();
+
+    for &flow in &flows {
+        // 2. RTO storms: ≥ STORM_MIN timer expiries in one cluster. The
+        // dup-ack senders surface as `cc.rto_expiry`; TCP-PR's equivalent
+        // episode is a run of backoff doublings.
+        let mut timer_hits: Vec<u64> = ev.flow_spans(flow, "cc.rto_expiry").to_vec();
+        let backoffs = ev.flow_spans(flow, "tcppr.backoff_double");
+        timer_hits.extend_from_slice(backoffs);
+        timer_hits.sort_unstable();
+        let timer_path = !backoffs.is_empty();
+        for (start, end, n) in clusters(&timer_hits) {
+            if n < STORM_MIN {
+                continue;
+            }
+            let root = ev.root_cause(flow, start, end);
+            let mech = if timer_path { "timer_backoff" } else { "rto_expiry" };
+            out.push(Incident {
+                kind: "rto_storm".to_owned(),
+                flow: Some(flow),
+                start_ns: start,
+                end_ns: end,
+                detail: format!("{n} timer expiries in {} ms", (end - start) / 1_000_000 + 1),
+                cause_chain: vec![root, mech.to_owned(), "cwnd_collapse".to_owned()],
+            });
+        }
+
+        // 3. Reorder-triggered spurious backoff: a window reduction with
+        // reordering evidence but no drop of this flow's packets in the
+        // preceding horizon. Eifel's explicit detections count directly.
+        let mut spurious: Vec<(u64, &'static str)> = Vec::new();
+        for (kind, mech) in [
+            ("cc.fast_rtx", "spurious_fast_rtx"),
+            ("tcppr.halve", "spurious_timer_halve"),
+            ("eifel.spurious", "spurious_fast_rtx"),
+        ] {
+            for &t in ev.flow_spans(flow, kind) {
+                let lo = t.saturating_sub(NEAR_NS);
+                let (impair, queue, random) = ev.drops_near(flow, lo, t);
+                let explicit = kind == "eifel.spurious";
+                if explicit || (impair + queue + random == 0 && ev.lates_near(flow, lo, t) > 0) {
+                    spurious.push((t, mech));
+                }
+            }
+        }
+        spurious.sort_unstable();
+        let times: Vec<u64> = spurious.iter().map(|&(t, _)| t).collect();
+        for (start, end, n) in clusters(&times) {
+            let mech = spurious
+                .iter()
+                .find(|&&(t, _)| t >= start)
+                .map(|&(_, m)| m)
+                .unwrap_or("spurious_fast_rtx");
+            let step = if mech == "spurious_timer_halve" { "timer_expiry" } else { "dupack_burst" };
+            out.push(Incident {
+                kind: "spurious_backoff".to_owned(),
+                flow: Some(flow),
+                start_ns: start,
+                end_ns: end,
+                detail: format!("{n} loss reactions without packet loss"),
+                cause_chain: vec!["displacement".to_owned(), step.to_owned(), mech.to_owned()],
+            });
+        }
+
+        // 4. Pacing stalls: a paced sender that went silent between two
+        // releases for longer than STALL_NS.
+        let releases = ev.flow_spans(flow, "pacer.release");
+        for w in releases.windows(2) {
+            let gap = w[1].saturating_sub(w[0]);
+            if gap > STALL_NS {
+                let root = ev.root_cause(flow, w[0], w[1]);
+                out.push(Incident {
+                    kind: "pacing_stall".to_owned(),
+                    flow: Some(flow),
+                    start_ns: w[0],
+                    end_ns: w[1],
+                    detail: format!("no paced release for {} ms", gap / 1_000_000),
+                    cause_chain: vec![root, "pacing_stall".to_owned()],
+                });
+            }
+        }
+
+        // 5. Goodput collapse: per-bin delivery counts over the measurement
+        // window; a run of ≥ 2 bins below a quarter of the mean rate is a
+        // collapse window.
+        if ctx.window_end_ns > ctx.window_start_ns {
+            let deliveries = ev.deliveries.get(&flow).map(Vec::as_slice).unwrap_or(&[]);
+            let bins = ((ctx.window_end_ns - ctx.window_start_ns) / BIN_NS) as usize;
+            if bins >= 4 && !deliveries.is_empty() {
+                let mut counts = vec![0u64; bins];
+                for &t in deliveries {
+                    if t >= ctx.window_start_ns && t < ctx.window_end_ns {
+                        counts[((t - ctx.window_start_ns) / BIN_NS) as usize] += 1;
+                    }
+                }
+                let total: u64 = counts.iter().sum();
+                let mean = total as f64 / bins as f64;
+                let floor = mean * 0.25;
+                let mut i = 0;
+                while i < bins {
+                    if (counts[i] as f64) < floor {
+                        let run_start = i;
+                        while i < bins && (counts[i] as f64) < floor {
+                            i += 1;
+                        }
+                        if i - run_start >= 2 {
+                            let start = ctx.window_start_ns + run_start as u64 * BIN_NS;
+                            let end = ctx.window_start_ns + i as u64 * BIN_NS;
+                            let root = ev.root_cause(flow, start, end);
+                            let mech = ev.mechanism(flow, start.saturating_sub(NEAR_NS), end);
+                            out.push(Incident {
+                                kind: "goodput_collapse".to_owned(),
+                                flow: Some(flow),
+                                start_ns: start,
+                                end_ns: end,
+                                detail: format!(
+                                    "{} ms below 25% of mean delivery rate",
+                                    (end - start) / 1_000_000
+                                ),
+                                cause_chain: vec![root, mech, "goodput_collapse".to_owned()],
+                            });
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // 6. Objective degradation: the scenario scored below its
+    // counterexample threshold — attribute the whole measurement window.
+    if let (Some(value), Some(threshold)) = (ctx.value, ctx.threshold) {
+        if value < threshold {
+            let flow = ctx.hunted_flow.unwrap_or(0);
+            let root = ev.root_cause(flow, ctx.window_start_ns, ctx.window_end_ns);
+            let mech = ev.mechanism(flow, 0, ctx.window_end_ns);
+            let effect = match ctx.objective.as_deref() {
+                Some("fairness") => "fairness_below_threshold",
+                _ => "goodput_below_threshold",
+            };
+            out.push(Incident {
+                kind: "objective_degradation".to_owned(),
+                flow: Some(flow),
+                start_ns: ctx.window_start_ns,
+                end_ns: ctx.window_end_ns,
+                detail: format!(
+                    "measured {value:.4} vs threshold {threshold:.4} (baseline {:.4})",
+                    ctx.baseline_value.unwrap_or(f64::NAN)
+                ),
+                cause_chain: vec![root, mech, effect.to_owned()],
+            });
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.start_ns, a.end_ns, &a.kind, a.flow).cmp(&(b.start_ns, b.end_ns, &b.kind, b.flow))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(at_ns: u64, kind: &'static str, flow: Option<u64>) -> SpanRecord {
+        SpanRecord { at_ns, kind, detail: "link=1".to_owned(), flow }
+    }
+
+    fn ctx() -> WindowCtx {
+        WindowCtx {
+            window_start_ns: 1_000_000_000,
+            window_end_ns: 5_000_000_000,
+            hunted_flow: Some(0),
+            ..WindowCtx::default()
+        }
+    }
+
+    #[test]
+    fn outage_plus_rto_storm_classifies_as_admin_root() {
+        let spans = vec![
+            span(1_500_000_000, "admin.down", None),
+            span(3_500_000_000, "admin.up", None),
+            span(1_600_000_000, "cc.rto_expiry", Some(0)),
+            span(2_300_000_000, "cc.rto_expiry", Some(0)),
+            span(3_000_000_000, "cc.rto_expiry", Some(0)),
+        ];
+        let incidents = detect(&[], &spans, &ctx());
+        let outage = incidents.iter().find(|i| i.kind == "admin_outage").expect("outage");
+        assert_eq!(outage.end_ns, 3_500_000_000);
+        let storm = incidents.iter().find(|i| i.kind == "rto_storm").expect("storm");
+        assert_eq!(
+            storm.cause_chain,
+            vec!["admin.down".to_owned(), "rto_expiry".to_owned(), "cwnd_collapse".to_owned()]
+        );
+    }
+
+    #[test]
+    fn unpaired_down_extends_to_horizon() {
+        let spans = vec![span(2_000_000_000, "admin.down", None)];
+        let incidents = detect(&[], &spans, &ctx());
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].end_ns, 5_000_000_000);
+    }
+
+    #[test]
+    fn objective_degradation_always_has_a_chain() {
+        let c = WindowCtx {
+            value: Some(0.2),
+            threshold: Some(1.0),
+            baseline_value: Some(2.0),
+            objective: Some("goodput".to_owned()),
+            ..ctx()
+        };
+        let incidents = detect(&[], &[], &c);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, "objective_degradation");
+        assert_eq!(incidents[0].cause_chain.len(), 3);
+        assert_eq!(incidents[0].cause_chain[2], "goodput_below_threshold");
+    }
+
+    #[test]
+    fn storm_needs_three_hits() {
+        let spans = vec![
+            span(1_600_000_000, "cc.rto_expiry", Some(0)),
+            span(2_300_000_000, "cc.rto_expiry", Some(0)),
+        ];
+        assert!(detect(&[], &spans, &ctx()).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Flow forensics: one deterministic causal timeline per scenario, plus
+//! incident detection and rule-based root-cause classification.
+//!
+//! The repo produces three disjoint observability streams for a run:
+//!
+//! - **packet lifecycle events** — [`netsim::trace::TraceRecord`]s from the
+//!   in-memory tracer (injection, queueing, drops, duplication, delivery);
+//! - **CC state transitions** — [`obs::SpanRecord`]s emitted by the sender
+//!   state machines (TCP-PR `tcppr.*` timer verdicts, `cc.fast_rtx` /
+//!   `cc.rto_expiry` across the comparators, CUBIC epochs, BBR states,
+//!   pacer releases) and by the simulator (`admin.*` link actions), each
+//!   tagged with the flow it ran under (see [`obs::set_current_flow`]);
+//! - **sampled series** — [`netsim::telemetry::TimeSeries`] from a
+//!   [`netsim::telemetry::Sampler`] (cwnd, srtt, goodput, queue depth).
+//!
+//! This crate joins the first two into a single sim-time-ordered
+//! [`TimelineEvent`] stream (the series stay separate — a sample grid in
+//! the middle of an event timeline is noise, not causality), summarizes
+//! per-flow packet fates, and runs rule-based detectors that turn the
+//! joined streams into [`Incident`]s with cause chains like
+//! `admin.down → rto_expiry → cwnd_collapse` or
+//! `displacement → dupack_burst → spurious_fast_rtx`.
+//!
+//! Everything here is a pure function of its inputs: same trace + spans in,
+//! byte-identical report out, which is what lets `repro explain` promise
+//! `--jobs`-independent artifacts.
+
+#![warn(missing_docs)]
+
+pub mod incident;
+pub mod timeline;
+
+use std::collections::BTreeMap;
+
+use netsim::trace::{TraceEventKind, TraceRecord};
+use obs::SpanRecord;
+use serde::{Serialize, Value};
+
+pub use incident::{detect, Incident, WindowCtx};
+pub use timeline::{build_timeline, TimelineEvent};
+
+/// Cap on timeline events embedded in a serialized report. Everything above
+/// the cap is counted, not silently lost.
+pub const TIMELINE_CAP: usize = 2000;
+
+/// Per-flow packet-fate and span totals derived from the joined streams.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowSummary {
+    /// Flow id (raw index).
+    pub flow: u64,
+    /// Data packets injected at the source.
+    pub data_injected: u64,
+    /// Data packets delivered to the receiving agent (duplicates count).
+    pub data_delivered: u64,
+    /// ACK packets delivered back to the sender.
+    pub acks_delivered: u64,
+    /// Data or ACK packets dropped by a full queue.
+    pub queue_drops: u64,
+    /// Packets dropped by random link loss.
+    pub random_losses: u64,
+    /// Packets dropped by impairment stages or down links.
+    pub impair_drops: u64,
+    /// Extra copies scheduled by duplication impairments.
+    pub duplicates: u64,
+    /// Data deliveries that arrived after a higher sequence number had
+    /// already been delivered (the event-level reordering signal).
+    pub late_data_deliveries: u64,
+    /// Span totals by kind for spans attributed to this flow.
+    pub spans: BTreeMap<String, u64>,
+}
+
+impl Serialize for FlowSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("flow".to_owned(), Value::UInt(self.flow)),
+            ("data_injected".to_owned(), Value::UInt(self.data_injected)),
+            ("data_delivered".to_owned(), Value::UInt(self.data_delivered)),
+            ("acks_delivered".to_owned(), Value::UInt(self.acks_delivered)),
+            ("queue_drops".to_owned(), Value::UInt(self.queue_drops)),
+            ("random_losses".to_owned(), Value::UInt(self.random_losses)),
+            ("impair_drops".to_owned(), Value::UInt(self.impair_drops)),
+            ("duplicates".to_owned(), Value::UInt(self.duplicates)),
+            ("late_data_deliveries".to_owned(), Value::UInt(self.late_data_deliveries)),
+            ("spans".to_owned(), self.spans.to_value()),
+        ])
+    }
+}
+
+/// Builds one [`FlowSummary`] per flow seen in either stream, keyed and
+/// ordered by flow id.
+pub fn flow_summaries(trace: &[TraceRecord], spans: &[SpanRecord]) -> Vec<FlowSummary> {
+    let mut flows: BTreeMap<u64, FlowSummary> = BTreeMap::new();
+    let mut highest_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in trace {
+        let id = r.flow.index() as u64;
+        let f = flows.entry(id).or_default();
+        f.flow = id;
+        match r.kind {
+            TraceEventKind::Injected if !r.is_ack => f.data_injected += 1,
+            TraceEventKind::Injected => {}
+            TraceEventKind::Enqueued(_) | TraceEventKind::LinkTx(_) => {}
+            TraceEventKind::QueueDrop(_) => f.queue_drops += 1,
+            TraceEventKind::RandomLoss(_) => f.random_losses += 1,
+            TraceEventKind::ImpairDrop(_) => f.impair_drops += 1,
+            TraceEventKind::Duplicated(_) => f.duplicates += 1,
+            TraceEventKind::Delivered(_) if r.is_ack => f.acks_delivered += 1,
+            TraceEventKind::Delivered(_) => {
+                f.data_delivered += 1;
+                if let Some(seq) = r.seq {
+                    let hi = highest_seq.entry(id).or_insert(0);
+                    if seq < *hi {
+                        f.late_data_deliveries += 1;
+                    } else {
+                        *hi = seq;
+                    }
+                }
+            }
+            TraceEventKind::NoRoute => {}
+        }
+    }
+    for s in spans {
+        if let Some(id) = s.flow {
+            let f = flows.entry(id).or_default();
+            f.flow = id;
+            *f.spans.entry(s.kind.to_owned()).or_insert(0) += 1;
+        }
+    }
+    flows.into_values().collect()
+}
+
+/// The full forensic analysis of one scenario run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Joined, sim-time-ordered event timeline (trace + spans).
+    pub timeline: Vec<TimelineEvent>,
+    /// Per-flow packet-fate and span totals.
+    pub flows: Vec<FlowSummary>,
+    /// Detected incidents with cause chains, ordered by start time.
+    pub incidents: Vec<Incident>,
+}
+
+impl Report {
+    /// Serializes the report. The timeline is capped at [`TIMELINE_CAP`]
+    /// events; the number of elided events is recorded under
+    /// `timeline_truncated` so truncation is never mistaken for absence.
+    pub fn to_value(&self) -> Value {
+        let kept = self.timeline.len().min(TIMELINE_CAP);
+        Value::Object(vec![
+            (
+                "incidents".to_owned(),
+                Value::Array(self.incidents.iter().map(Incident::to_value).collect()),
+            ),
+            ("flows".to_owned(), Value::Array(self.flows.iter().map(|f| f.to_value()).collect())),
+            ("timeline_truncated".to_owned(), Value::UInt((self.timeline.len() - kept) as u64)),
+            (
+                "timeline".to_owned(),
+                Value::Array(self.timeline[..kept].iter().map(TimelineEvent::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+/// Runs the whole pipeline: timeline join, per-flow summaries, incident
+/// detection and cause-chain classification.
+pub fn analyze(trace: &[TraceRecord], spans: &[SpanRecord], ctx: &WindowCtx) -> Report {
+    Report {
+        timeline: build_timeline(trace, spans),
+        flows: flow_summaries(trace, spans),
+        incidents: detect(trace, spans, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::ids::{FlowId, NodeId};
+    use netsim::time::SimTime;
+
+    fn rec(at_ms: u64, flow: u32, seq: u64, kind: TraceEventKind) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ms * 1_000_000),
+            uid: seq,
+            flow: FlowId::from_raw(flow),
+            seq: Some(seq),
+            is_ack: false,
+            kind,
+        }
+    }
+
+    #[test]
+    fn summaries_count_late_deliveries_per_flow() {
+        let n = NodeId::from_raw(0);
+        let trace = vec![
+            rec(1, 0, 0, TraceEventKind::Delivered(n)),
+            rec(2, 0, 2, TraceEventKind::Delivered(n)),
+            rec(3, 0, 1, TraceEventKind::Delivered(n)), // late: 2 already seen
+            rec(4, 1, 5, TraceEventKind::Delivered(n)), // other flow unaffected
+        ];
+        let flows = flow_summaries(&trace, &[]);
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].flow, 0);
+        assert_eq!(flows[0].late_data_deliveries, 1);
+        assert_eq!(flows[1].late_data_deliveries, 0);
+    }
+
+    #[test]
+    fn summaries_attribute_spans_by_flow() {
+        let spans = vec![
+            SpanRecord { at_ns: 1, kind: "cc.fast_rtx", detail: String::new(), flow: Some(3) },
+            SpanRecord { at_ns: 2, kind: "cc.fast_rtx", detail: String::new(), flow: Some(3) },
+            SpanRecord { at_ns: 3, kind: "admin.down", detail: String::new(), flow: None },
+        ];
+        let flows = flow_summaries(&[], &spans);
+        assert_eq!(flows.len(), 1, "unattributed spans don't create flows");
+        assert_eq!(flows[0].spans.get("cc.fast_rtx"), Some(&2));
+    }
+}

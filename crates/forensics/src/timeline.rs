@@ -1,0 +1,138 @@
+//! The timeline join: packet lifecycle events and CC spans merged into one
+//! sim-time-ordered stream.
+//!
+//! Only *notable* trace events join the timeline — drops, duplications and
+//! routing failures. The bulk lifecycle kinds (injected / enqueued /
+//! link_tx / delivered) occur once or more per packet and would turn the
+//! timeline back into the full event trace it is meant to condense; they
+//! are aggregated by [`crate::flow_summaries`] instead. Every span joins,
+//! because spans are already the condensed decisions of the state machines.
+//!
+//! Ordering is a total, input-order-independent key
+//! `(at_ns, source, kind, flow, detail)` so the joined timeline is
+//! byte-stable no matter how the two streams were captured.
+
+use netsim::trace::{TraceEventKind, TraceRecord};
+use obs::SpanRecord;
+use serde::Value;
+
+/// One event on the joined timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Sim time, nanoseconds since scenario start.
+    pub at_ns: u64,
+    /// Flow attribution. Packet events always carry one; spans only when
+    /// emitted inside a per-flow agent callback.
+    pub flow: Option<u64>,
+    /// Stream of origin: `"trace"` or `"span"`.
+    pub source: &'static str,
+    /// Event kind — a [`TraceEventKind::label`] or a span kind.
+    pub kind: String,
+    /// Human-readable payload (location + seq for packets, span detail).
+    pub detail: String,
+}
+
+impl TimelineEvent {
+    /// Serializes one timeline row.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![("at_ns".to_owned(), Value::UInt(self.at_ns))];
+        if let Some(flow) = self.flow {
+            fields.push(("flow".to_owned(), Value::UInt(flow)));
+        }
+        fields.push(("source".to_owned(), Value::Str(self.source.to_owned())));
+        fields.push(("kind".to_owned(), Value::Str(self.kind.clone())));
+        fields.push(("detail".to_owned(), Value::Str(self.detail.clone())));
+        Value::Object(fields)
+    }
+
+    fn sort_key(&self) -> (u64, &'static str, &str, Option<u64>, &str) {
+        (self.at_ns, self.source, &self.kind, self.flow, &self.detail)
+    }
+}
+
+/// True for trace kinds that represent a fate decision worth a timeline
+/// row of their own.
+pub fn is_notable(kind: TraceEventKind) -> bool {
+    matches!(
+        kind,
+        TraceEventKind::QueueDrop(_)
+            | TraceEventKind::RandomLoss(_)
+            | TraceEventKind::ImpairDrop(_)
+            | TraceEventKind::Duplicated(_)
+            | TraceEventKind::NoRoute
+    )
+}
+
+/// Joins the two event streams into one deterministically ordered timeline.
+pub fn build_timeline(trace: &[TraceRecord], spans: &[SpanRecord]) -> Vec<TimelineEvent> {
+    let mut out: Vec<TimelineEvent> = Vec::new();
+    for r in trace {
+        if !is_notable(r.kind) {
+            continue;
+        }
+        let seq = match r.seq {
+            Some(s) => format!("seq={s}"),
+            None => "ack".to_owned(),
+        };
+        out.push(TimelineEvent {
+            at_ns: r.at.as_nanos(),
+            flow: Some(r.flow.index() as u64),
+            source: "trace",
+            kind: r.kind.label().to_owned(),
+            detail: format!("at={} {} uid={}", r.kind.location(), seq, r.uid),
+        });
+    }
+    for s in spans {
+        out.push(TimelineEvent {
+            at_ns: s.at_ns,
+            flow: s.flow,
+            source: "span",
+            kind: s.kind.to_owned(),
+            detail: s.detail.clone(),
+        });
+    }
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::ids::{FlowId, LinkId};
+    use netsim::time::SimTime;
+
+    fn drop_rec(at_ns: u64, flow: u32) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            uid: 1,
+            flow: FlowId::from_raw(flow),
+            seq: Some(9),
+            is_ack: false,
+            kind: TraceEventKind::QueueDrop(LinkId::from_raw(0)),
+        }
+    }
+
+    fn span(at_ns: u64, kind: &'static str) -> SpanRecord {
+        SpanRecord { at_ns, kind, detail: String::new(), flow: Some(0) }
+    }
+
+    #[test]
+    fn join_is_input_order_independent() {
+        let trace = vec![drop_rec(50, 0), drop_rec(10, 1)];
+        let spans = vec![span(30, "cc.fast_rtx"), span(10, "tcppr.halve")];
+        let a = build_timeline(&trace, &spans);
+        let rev_trace: Vec<_> = trace.iter().rev().copied().collect();
+        let rev_spans: Vec<_> = spans.iter().rev().cloned().collect();
+        let b = build_timeline(&rev_trace, &rev_spans);
+        assert_eq!(a, b);
+        let times: Vec<u64> = a.iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![10, 10, 30, 50]);
+    }
+
+    #[test]
+    fn bulk_lifecycle_events_stay_out() {
+        let mut r = drop_rec(5, 0);
+        r.kind = TraceEventKind::Injected;
+        assert!(build_timeline(&[r], &[]).is_empty());
+    }
+}

@@ -596,6 +596,7 @@ impl Simulator {
     /// arriving packets but keep their queue; the in-flight packet (if
     /// any) completes its serialization. `Up` restarts service.
     fn link_admin(&mut self, id: LinkId, action: LinkAdmin) {
+        let now_ns = self.now.as_nanos();
         let link = &mut self.links[id.index()];
         match action {
             LinkAdmin::Down => {
@@ -604,11 +605,13 @@ impl Simulator {
                     link.impair_stats.flaps += 1;
                     self.stats.link_flaps += 1;
                     obs::count("link.flap", 1);
+                    obs::span(now_ns, "admin.down", || format!("link={}", id.index()));
                 }
             }
             LinkAdmin::Up => {
                 if !link.up {
                     link.up = true;
+                    obs::span(now_ns, "admin.up", || format!("link={}", id.index()));
                     if !link.busy && link.queued() > 0 {
                         self.link_try_transmit(id);
                     }
@@ -617,9 +620,15 @@ impl Simulator {
             LinkAdmin::SetBandwidth { bps } => {
                 assert!(bps > 0.0, "bandwidth must be positive");
                 link.config.bandwidth_bps = bps;
+                obs::span(now_ns, "admin.set_bandwidth", || {
+                    format!("link={} bps={bps}", id.index())
+                });
             }
             LinkAdmin::SetDelay { delay } => {
                 link.config.delay = delay;
+                obs::span(now_ns, "admin.set_delay", || {
+                    format!("link={} delay_ns={}", id.index(), delay.as_nanos())
+                });
             }
         }
     }
@@ -735,6 +744,14 @@ impl Simulator {
         let mut agent = self.agents[id.index()].take().expect("agent call must not re-enter");
         let meta = &self.agent_meta[id.index()];
         let (node, flow) = (meta.node, meta.flow);
+        // Flow-scope the obs span stream for the duration of the callback:
+        // any span emitted inside the agent (CC state machines, pacer) is
+        // attributed to this flow without plumbing identity through the
+        // sender traits. Callbacks are synchronous, so set/clear brackets
+        // the emission window exactly.
+        if obs::enabled() {
+            obs::set_current_flow(Some(flow.index() as u64));
+        }
         let mut actions: Vec<AgentAction> = Vec::new();
         {
             let rng = &mut self.rng;
@@ -757,6 +774,9 @@ impl Simulator {
         self.agents[id.index()] = Some(agent);
         for action in actions {
             self.apply_action(id, node, flow, action);
+        }
+        if obs::enabled() {
+            obs::set_current_flow(None);
         }
     }
 
@@ -832,6 +852,7 @@ impl Drop for Simulator {
             self.stats.events,
             self.events.peak_len(),
             self.dropped_trace_records(),
+            self.tracer.as_ref().map(Tracer::mode),
             &self.impair_totals(),
         );
     }

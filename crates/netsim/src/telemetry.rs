@@ -182,6 +182,11 @@ pub struct SessionStats {
     pub peak_event_heap: u64,
     /// Trace records lost to buffer caps, summed.
     pub dropped_trace_records: u64,
+    /// Simulators that traced with a keep-first ring buffer (see
+    /// [`crate::trace::TraceMode::KeepFirst`]).
+    pub traced_keep_first_sims: u64,
+    /// Simulators that traced with a keep-latest ring buffer.
+    pub traced_keep_latest_sims: u64,
     /// Packets dropped by impairment stages or down links, summed
     /// (see [`crate::impair`]).
     pub impair_drops: u64,
@@ -203,6 +208,8 @@ impl SessionStats {
         self.events_processed += other.events_processed;
         self.peak_event_heap = self.peak_event_heap.max(other.peak_event_heap);
         self.dropped_trace_records += other.dropped_trace_records;
+        self.traced_keep_first_sims += other.traced_keep_first_sims;
+        self.traced_keep_latest_sims += other.traced_keep_latest_sims;
         self.impair_drops += other.impair_drops;
         self.impair_dups += other.impair_dups;
         self.impair_reorders += other.impair_reorders;
@@ -223,6 +230,8 @@ pub mod session {
             events_processed: 0,
             peak_event_heap: 0,
             dropped_trace_records: 0,
+            traced_keep_first_sims: 0,
+            traced_keep_latest_sims: 0,
             impair_drops: 0,
             impair_dups: 0,
             impair_reorders: 0,
@@ -252,10 +261,14 @@ pub mod session {
     /// Folds one simulator's final accounting into the accumulator.
     /// Called from `Simulator`'s `Drop`; also callable directly to account
     /// for a simulator that will live past the measurement boundary.
+    /// `trace_mode` is the simulator's in-memory trace-buffer mode, if it
+    /// traced at all — surfaced through [`RunHealth`] so truncated traces
+    /// are diagnosable from artifacts alone.
     pub fn absorb(
         events: u64,
         peak_heap: usize,
         dropped_trace_records: u64,
+        trace_mode: Option<crate::trace::TraceMode>,
         impair: &crate::impair::ImpairStats,
     ) {
         SESSION.with(|s| {
@@ -264,6 +277,11 @@ pub mod session {
             s.events_processed += events;
             s.peak_event_heap = s.peak_event_heap.max(peak_heap as u64);
             s.dropped_trace_records += dropped_trace_records;
+            match trace_mode {
+                Some(crate::trace::TraceMode::KeepFirst) => s.traced_keep_first_sims += 1,
+                Some(crate::trace::TraceMode::KeepLatest) => s.traced_keep_latest_sims += 1,
+                None => {}
+            }
             s.impair_drops += impair.drops();
             s.impair_dups += impair.duplicates;
             s.impair_reorders += impair.reorder_displacements();
@@ -287,6 +305,12 @@ pub struct RunHealth {
     pub peak_event_heap: u64,
     /// Trace records lost to buffer caps (0 unless tracing with a cap).
     pub dropped_trace_records: u64,
+    /// Simulators that traced with a keep-first buffer (drops are the
+    /// *latest* records past the cap).
+    pub traced_keep_first_sims: u64,
+    /// Simulators that traced with a keep-latest ring (drops are the
+    /// *earliest* records).
+    pub traced_keep_latest_sims: u64,
     /// Wall-clock duration of the run, seconds.
     pub wall_time_s: f64,
 }
@@ -304,6 +328,8 @@ impl RunHealth {
             },
             peak_event_heap: stats.peak_event_heap,
             dropped_trace_records: stats.dropped_trace_records,
+            traced_keep_first_sims: stats.traced_keep_first_sims,
+            traced_keep_latest_sims: stats.traced_keep_latest_sims,
             wall_time_s,
         }
     }
@@ -476,6 +502,8 @@ mod tests {
             events_processed: 100,
             peak_event_heap: 40,
             dropped_trace_records: 2,
+            traced_keep_first_sims: 1,
+            traced_keep_latest_sims: 0,
             impair_drops: 5,
             impair_dups: 1,
             impair_reorders: 3,
@@ -486,6 +514,8 @@ mod tests {
             events_processed: 50,
             peak_event_heap: 90,
             dropped_trace_records: 0,
+            traced_keep_first_sims: 0,
+            traced_keep_latest_sims: 2,
             impair_drops: 7,
             impair_dups: 0,
             impair_reorders: 4,
@@ -496,6 +526,8 @@ mod tests {
         assert_eq!(a.events_processed, 150);
         assert_eq!(a.peak_event_heap, 90, "peak is a max, not a sum");
         assert_eq!(a.dropped_trace_records, 2);
+        assert_eq!(a.traced_keep_first_sims, 1);
+        assert_eq!(a.traced_keep_latest_sims, 2, "trace-mode tallies add");
         assert_eq!(a.impair_drops, 12);
         assert_eq!(a.impair_dups, 1);
         assert_eq!(a.impair_reorders, 7);

@@ -42,7 +42,7 @@ pub mod span;
 
 pub use hist::{bucket_index, bucket_lo, LogHistogram, BUCKETS};
 pub use registry::{
-    count, disable, enable, enabled, gauge_max, observe, observe_wall, span, take, ProfileReport,
-    MAX_SPANS,
+    count, current_flow, disable, enable, enabled, gauge_max, observe, observe_wall,
+    set_current_flow, set_span_capacity, span, take, ProfileReport, MAX_SPANS,
 };
 pub use span::SpanRecord;

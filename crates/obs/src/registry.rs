@@ -34,6 +34,13 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 thread_local! {
     static REGISTRY: RefCell<ProfileReport> = RefCell::new(ProfileReport::default());
+    /// Ambient flow attribution: the simulator sets this around each agent
+    /// callback so span sites deep inside sender state machines inherit the
+    /// flow identity without threading it through every call signature.
+    static CURRENT_FLOW: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+    /// Per-thread retained-span cap. Defaults to [`MAX_SPANS`]; forensic
+    /// capture raises it for the duration of one instrumented run.
+    static SPAN_CAPACITY: std::cell::Cell<usize> = const { std::cell::Cell::new(MAX_SPANS) };
 }
 
 /// Turns profiling on for the whole process (all threads see it).
@@ -96,14 +103,37 @@ pub fn gauge_max(key: &'static str, value: u64) {
 
 /// Records a span. `detail` is only invoked when profiling is enabled, so
 /// callers can pass a `format!` closure without paying for it on the
-/// disabled path.
+/// disabled path. The span inherits this thread's ambient flow attribution
+/// (see [`set_current_flow`]).
 #[inline]
 pub fn span<F: FnOnce() -> String>(at_ns: u64, kind: &'static str, detail: F) {
     if !enabled() {
         return;
     }
-    let record = SpanRecord { at_ns, kind, detail: detail() };
-    REGISTRY.with(|r| r.borrow_mut().push_span(record));
+    let record = SpanRecord { at_ns, kind, detail: detail(), flow: current_flow() };
+    let cap = SPAN_CAPACITY.with(|c| c.get());
+    REGISTRY.with(|r| r.borrow_mut().push_span_capped(record, cap));
+}
+
+/// Sets the ambient flow attribution for spans recorded on this thread.
+/// The simulator calls this around agent callbacks; pass `None` to clear.
+#[inline]
+pub fn set_current_flow(flow: Option<u64>) {
+    CURRENT_FLOW.with(|c| c.set(flow));
+}
+
+/// The ambient flow attribution on this thread, if any.
+#[inline]
+pub fn current_flow() -> Option<u64> {
+    CURRENT_FLOW.with(|c| c.get())
+}
+
+/// Raises (or lowers) this thread's retained-span cap. Forensic capture
+/// needs every CC transition of a multi-second scenario, which overflows
+/// the default [`MAX_SPANS`] budget sized for profiling summaries. Returns
+/// the previous capacity so callers can restore it.
+pub fn set_span_capacity(cap: usize) -> usize {
+    SPAN_CAPACITY.with(|c| c.replace(cap))
 }
 
 /// Drains this thread's accumulated report, leaving a fresh one behind.
@@ -150,9 +180,9 @@ impl ProfileReport {
             && self.spans_dropped == 0
     }
 
-    fn push_span(&mut self, record: SpanRecord) {
+    fn push_span_capped(&mut self, record: SpanRecord, cap: usize) {
         *entry_or_default(&mut self.span_counts, record.kind) += 1;
-        if self.spans.len() < MAX_SPANS {
+        if self.spans.len() < cap {
             self.spans.push(record);
         } else {
             self.spans_dropped += 1;
@@ -230,10 +260,12 @@ mod tests {
         static LOCK: Mutex<()> = Mutex::new(());
         let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _ = take();
+        set_current_flow(None);
         enable();
         let out = f();
         disable();
         let _ = take();
+        set_current_flow(None);
         out
     }
 
@@ -277,6 +309,36 @@ mod tests {
         assert_eq!(report.spans.len(), MAX_SPANS);
         assert_eq!(report.spans_dropped, 10);
         assert_eq!(report.span_counts.get("k"), Some(&(MAX_SPANS as u64 + 10)));
+    }
+
+    #[test]
+    fn spans_inherit_ambient_flow() {
+        let report = with_enabled(|| {
+            span(1, "k", String::new);
+            set_current_flow(Some(2));
+            span(2, "k", String::new);
+            set_current_flow(None);
+            span(3, "k", String::new);
+            take()
+        });
+        let flows: Vec<Option<u64>> = report.spans.iter().map(|s| s.flow).collect();
+        assert_eq!(flows, vec![None, Some(2), None]);
+    }
+
+    #[test]
+    fn span_capacity_is_adjustable_per_thread() {
+        let report = with_enabled(|| {
+            let prev = set_span_capacity(2);
+            for i in 0..5u64 {
+                span(i, "k", String::new);
+            }
+            let out = take();
+            set_span_capacity(prev);
+            out
+        });
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans_dropped, 3);
+        assert_eq!(report.span_counts.get("k"), Some(&5));
     }
 
     #[test]

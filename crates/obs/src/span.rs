@@ -17,16 +17,26 @@ pub struct SpanRecord {
     pub kind: &'static str,
     /// Short detail payload, e.g. `"Startup->Drain"`.
     pub detail: String,
+    /// Flow the span is attributed to, when the emitting code ran inside a
+    /// per-flow agent callback (see [`crate::set_current_flow`]). `None` for
+    /// global events (link admin actions, sim bookkeeping).
+    pub flow: Option<u64>,
 }
 
 impl SpanRecord {
     /// Renders the span as a single JSONL line compatible with the trace
-    /// sinks: `{"span":"<kind>","at_ns":<t>,"detail":"<detail>"}`.
+    /// sinks: `{"span":"<kind>","at_ns":<t>,"detail":"<detail>"}` with an
+    /// extra `"flow":<id>` field when the span is flow-attributed.
     pub fn jsonl_line(&self) -> String {
+        let flow = match self.flow {
+            Some(f) => format!(",\"flow\":{f}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"span\":\"{}\",\"at_ns\":{},\"detail\":\"{}\"}}",
+            "{{\"span\":\"{}\",\"at_ns\":{}{},\"detail\":\"{}\"}}",
             self.kind,
             self.at_ns,
+            flow,
             escape(&self.detail)
         )
     }
@@ -34,11 +44,15 @@ impl SpanRecord {
 
 impl Serialize for SpanRecord {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("at_ns".to_owned(), Value::UInt(self.at_ns)),
             ("kind".to_owned(), Value::Str(self.kind.to_owned())),
             ("detail".to_owned(), Value::Str(self.detail.clone())),
-        ])
+        ];
+        if let Some(flow) = self.flow {
+            fields.push(("flow".to_owned(), Value::UInt(flow)));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -62,9 +76,30 @@ mod tests {
 
     #[test]
     fn jsonl_line_is_one_escaped_line() {
-        let s = SpanRecord { at_ns: 42, kind: "tcppr.backoff", detail: "mxrtt\"x\"".to_owned() };
+        let s = SpanRecord {
+            at_ns: 42,
+            kind: "tcppr.backoff",
+            detail: "mxrtt\"x\"".to_owned(),
+            flow: None,
+        };
         let line = s.jsonl_line();
         assert!(!line.contains('\n'));
         assert_eq!(line, "{\"span\":\"tcppr.backoff\",\"at_ns\":42,\"detail\":\"mxrtt\\\"x\\\"\"}");
+    }
+
+    #[test]
+    fn flow_attribution_serializes() {
+        let s =
+            SpanRecord { at_ns: 7, kind: "cc.fast_rtx", detail: "seq=3".to_owned(), flow: Some(1) };
+        assert_eq!(
+            s.jsonl_line(),
+            "{\"span\":\"cc.fast_rtx\",\"at_ns\":7,\"flow\":1,\"detail\":\"seq=3\"}"
+        );
+        match s.to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.last().map(|(k, _)| k.as_str()), Some("flow"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
     }
 }
