@@ -12,6 +12,13 @@
 //! `repro bench-check` is the gate over that trajectory: it compares the
 //! last entry's serial events/sec against the previous one and fails when
 //! the drop exceeds a configurable threshold.
+//!
+//! The trajectory carries more than one *workload* — the classic
+//! `bench-sweep` timing and the population-scale `scale` run both append
+//! entries, tagged by their `workload` field. The gate only ever compares
+//! entries of the same workload (entries written before the field existed
+//! count as `bench-sweep`), so a scale entry landing after a bench-sweep
+//! entry never produces a bogus cross-workload delta.
 
 use std::fs;
 use std::path::Path;
@@ -24,9 +31,20 @@ pub const TRAJECTORY_PATH: &str = "BENCH_sweep.json";
 /// Default regression threshold for `repro bench-check`, in percent.
 pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
 
-/// One bench-sweep measurement.
+/// Workload tag of classic `repro bench-sweep` entries — also what a
+/// trajectory entry without a `workload` field (written before the field
+/// existed) is taken to be.
+pub const SWEEP_WORKLOAD: &str = "bench-sweep";
+
+/// Workload tag of `repro scale` population-run entries.
+pub const SCALE_WORKLOAD: &str = "scale";
+
+/// One bench measurement (a `bench-sweep` timing or a `scale` run).
 #[derive(Debug, Clone)]
 pub struct BenchEntry {
+    /// Which workload produced the entry ([`SWEEP_WORKLOAD`] or
+    /// [`SCALE_WORKLOAD`]); the gate never compares across workloads.
+    pub workload: String,
     /// Scenarios in the benchmark workload.
     pub scenarios: u64,
     /// Events dispatched by the serial pass.
@@ -48,6 +66,7 @@ pub struct BenchEntry {
 impl serde::Serialize for BenchEntry {
     fn to_value(&self) -> Value {
         Value::Object(vec![
+            ("workload".to_owned(), Value::Str(self.workload.clone())),
             ("scenarios".to_owned(), Value::UInt(self.scenarios)),
             ("events".to_owned(), Value::UInt(self.events)),
             ("serial_jobs".to_owned(), Value::UInt(1)),
@@ -88,6 +107,16 @@ pub fn append_entry(path: &Path, entry: Value) -> Result<usize, String> {
     Ok(len)
 }
 
+/// Reads the workload tag of a trajectory entry. Entries written before
+/// the field existed are classic bench-sweep runs.
+pub fn workload_of(entry: &Value) -> &str {
+    let Value::Object(fields) = entry else { return SWEEP_WORKLOAD };
+    match fields.iter().find(|(k, _)| k == "workload").map(|(_, v)| v) {
+        Some(Value::Str(s)) => s.as_str(),
+        _ => SWEEP_WORKLOAD,
+    }
+}
+
 /// Reads the serial events/sec figure out of one trajectory entry.
 pub fn events_per_sec(entry: &Value) -> Option<f64> {
     let Value::Object(fields) = entry else { return None };
@@ -125,16 +154,20 @@ impl BenchDelta {
     }
 }
 
-/// Compares the last two usable entries of a trajectory. `Ok(None)` means
-/// there is nothing to compare yet (fewer than two entries); `Err` means an
-/// entry exists but lacks the events/sec field.
+/// Compares the last entry of a trajectory against the most recent earlier
+/// entry of the *same workload*. `Ok(None)` means there is nothing to
+/// compare yet (fewer than two entries, or no earlier entry shares the
+/// latest entry's workload); `Err` means the comparable pair exists but an
+/// entry lacks the events/sec field.
 pub fn check(entries: &[Value]) -> Result<Option<BenchDelta>, String> {
-    if entries.len() < 2 {
+    let Some((last, earlier)) = entries.split_last() else { return Ok(None) };
+    let workload = workload_of(last);
+    let Some(prev) = earlier.iter().rev().find(|e| workload_of(e) == workload) else {
         return Ok(None);
-    }
-    let latest = events_per_sec(&entries[entries.len() - 1])
+    };
+    let latest = events_per_sec(last)
         .ok_or_else(|| "latest entry lacks serial_events_per_sec".to_owned())?;
-    let previous = events_per_sec(&entries[entries.len() - 2])
+    let previous = events_per_sec(prev)
         .ok_or_else(|| "previous entry lacks serial_events_per_sec".to_owned())?;
     Ok(Some(BenchDelta { previous, latest }))
 }
@@ -145,6 +178,13 @@ mod tests {
 
     fn entry(eps: f64) -> Value {
         Value::Object(vec![("serial_events_per_sec".to_owned(), Value::Float(eps))])
+    }
+
+    fn tagged(workload: &str, eps: f64) -> Value {
+        Value::Object(vec![
+            ("workload".to_owned(), Value::Str(workload.to_owned())),
+            ("serial_events_per_sec".to_owned(), Value::Float(eps)),
+        ])
     }
 
     #[test]
@@ -177,6 +217,41 @@ mod tests {
         assert_eq!(delta.previous, 1_000_000.0);
         assert_eq!(delta.latest, 990_000.0);
         assert!(!delta.regressed(20.0));
+    }
+
+    #[test]
+    fn untagged_entries_count_as_bench_sweep() {
+        assert_eq!(workload_of(&entry(1e6)), SWEEP_WORKLOAD);
+        assert_eq!(workload_of(&tagged(SCALE_WORKLOAD, 1e6)), SCALE_WORKLOAD);
+    }
+
+    #[test]
+    fn the_gate_only_compares_entries_of_the_same_workload() {
+        // A scale entry landing between two bench-sweep entries does not
+        // perturb the bench-sweep comparison…
+        let t = [entry(1_000_000.0), tagged(SCALE_WORKLOAD, 50_000.0), entry(990_000.0)];
+        let delta = check(&t).unwrap().unwrap();
+        assert_eq!(delta.previous, 1_000_000.0);
+        assert_eq!(delta.latest, 990_000.0);
+        assert!(!delta.regressed(20.0));
+
+        // …and a latest scale entry is compared against the previous scale
+        // entry, skipping the interleaved bench-sweep runs.
+        let t = [
+            tagged(SCALE_WORKLOAD, 80_000.0),
+            entry(1_000_000.0),
+            tagged(SCALE_WORKLOAD, 40_000.0),
+        ];
+        let delta = check(&t).unwrap().unwrap();
+        assert_eq!(delta.previous, 80_000.0);
+        assert_eq!(delta.latest, 40_000.0);
+        assert!(delta.regressed(20.0), "a 50% scale slowdown is a scale regression");
+    }
+
+    #[test]
+    fn a_first_of_its_workload_entry_has_nothing_to_compare() {
+        let t = [entry(1_000_000.0), entry(990_000.0), tagged(SCALE_WORKLOAD, 50_000.0)];
+        assert_eq!(check(&t).unwrap(), None, "no earlier scale entry to compare against");
     }
 
     #[test]

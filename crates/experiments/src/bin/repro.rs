@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p experiments --bin repro --release -- \
-//!     [fig2|fig3|fig4|fig6|faceoff|ablations|ext|stress|stress-smoke|cc-smoke|bench-sweep|all] \
+//!     [fig2|fig3|fig4|fig6|faceoff|ablations|ext|stress|stress-smoke|cc-smoke| \
+//!      scale|scale-smoke|bench-sweep|all] \
 //!     [profile [selector…]] [bench-check] \
 //!     [--quick] [--jobs N] [--resume] [--no-cache] [--telemetry-dir <dir>] \
 //!     [--trajectory <path>] [--threshold-pct <pct>] [--list]
@@ -24,6 +25,16 @@
 //! flow into `<dir>`. The `bench-sweep` selector times a serial vs parallel
 //! quick sweep, writes the latest run to `results/bench_sweep.json`, and
 //! appends it to the top-level `BENCH_sweep.json` perf trajectory.
+//!
+//! The `scale` selector (opt-in, like `ext`) runs the internet-scale
+//! workload grid — generated fat-tree topologies carrying Poisson flow
+//! churn with heavy-tailed sizes, up to 10k concurrent flows per variant —
+//! and writes `results/scale.json` with population fairness / FCT metrics.
+//! A plain (non-`--resume`) `repro scale` run also appends a
+//! `workload: "scale"` events/sec entry to the `BENCH_sweep.json`
+//! trajectory, so `bench-check` gates scale-run performance separately from
+//! the classic bench-sweep timing. `scale-smoke` is its tiny CI-sized
+//! sibling (fat-tree *and* AS-graph topologies at 120 flows).
 //!
 //! Three further commands run *instead of* the figure grids:
 //!
@@ -215,13 +226,17 @@ fn parse_args() -> Cli {
 }
 
 /// Prints every selector with its artifacts and cell counts (`--list`, and
-/// the footer of the unknown-selector error).
+/// the footer of the unknown-selector error). Selectors print in sorted
+/// order so the listing is deterministic and diffs cleanly as grids are
+/// added, independent of grid declaration order.
 fn print_listing() {
     let quick = all_figures(true, false);
     let full = all_figures(false, false);
+    let mut sels = selectors();
+    sels.sort_unstable();
     println!("selectors (* = included in bare `repro` / `repro all`):");
     println!("  {:<14} {:>11}  artifacts", "selector", "quick/full");
-    for sel in selectors() {
+    for sel in sels {
         let grids: Vec<_> = quick.iter().filter(|g| g.selector == sel).collect();
         let mark = if grids.iter().any(|g| g.in_all) { "*" } else { " " };
         let qc: usize = grids.iter().map(|g| g.specs.len()).sum();
@@ -270,9 +285,19 @@ fn sweep_options(cli: &Cli) -> SweepOptions {
     }
 }
 
+/// Throughput accounting of one figure sweep, for the perf trajectory.
+struct SweepStats {
+    scenarios: u64,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    cached: usize,
+}
+
 /// Runs the requested figures as one sweep and renders each figure from
-/// its slice of the outcomes. Returns false if any scenario crashed.
-fn run_figures(figures: Vec<FigureGrid>, ctx: &ExecCtx, opts: &SweepOptions) -> bool {
+/// its slice of the outcomes. Returns false (first element) if any
+/// scenario crashed, plus the sweep's throughput accounting.
+fn run_figures(figures: Vec<FigureGrid>, ctx: &ExecCtx, opts: &SweepOptions) -> (bool, SweepStats) {
     let specs: Vec<_> = figures.iter().flat_map(|g| g.specs.iter().cloned()).collect();
     eprintln!(
         "[sweep] {} scenario(s) across {} artifact(s), {} worker(s)",
@@ -282,6 +307,13 @@ fn run_figures(figures: Vec<FigureGrid>, ctx: &ExecCtx, opts: &SweepOptions) -> 
     );
     let report = run_sweep(&specs, ctx, opts);
     eprintln!("[sweep] done: {}", report.summary());
+    let stats = SweepStats {
+        scenarios: specs.len() as u64,
+        events: report.events_executed,
+        wall_s: report.wall_s,
+        events_per_sec: report.events_per_sec(),
+        cached: report.cached,
+    };
 
     let mut ok = true;
     let mut offset = 0;
@@ -320,7 +352,48 @@ fn run_figures(figures: Vec<FigureGrid>, ctx: &ExecCtx, opts: &SweepOptions) -> 
             grid.artifact, work.events_processed, work.sims, work.peak_event_heap
         );
     }
-    ok
+    (ok, stats)
+}
+
+/// Appends a `workload: "scale"` events/sec entry to the perf trajectory
+/// after a pure `repro scale` run, so `bench-check` gates scale-run
+/// performance. Skipped when any scenario came from the cache — a
+/// cache-satisfied run measures deserialization, not simulation.
+fn append_scale_bench(cli: &Cli, stats: &SweepStats) {
+    if stats.cached > 0 {
+        eprintln!(
+            "[scale] {} scenario(s) came from the cache — no trajectory entry recorded",
+            stats.cached
+        );
+        return;
+    }
+    let entry = bench::BenchEntry {
+        workload: bench::SCALE_WORKLOAD.to_owned(),
+        scenarios: stats.scenarios,
+        events: stats.events,
+        // One measured pass at `--jobs N`: the serial fields carry the
+        // measurement (that is what the gate reads) and the parallel
+        // fields record the worker count it ran with. Comparable entries
+        // therefore assume a consistent --jobs, which CI pins.
+        serial_wall_s: stats.wall_s,
+        serial_events_per_sec: stats.events_per_sec,
+        parallel_jobs: cli.jobs as u64,
+        parallel_wall_s: stats.wall_s,
+        parallel_events_per_sec: stats.events_per_sec,
+        speedup: 1.0,
+    };
+    let trajectory = Path::new(bench::TRAJECTORY_PATH);
+    match bench::append_entry(trajectory, serde::Serialize::to_value(&entry)) {
+        Ok(len) => eprintln!(
+            "[scale] trajectory entry {len} ({:.0} events/sec) appended -> {}",
+            stats.events_per_sec,
+            trajectory.display()
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
 }
 
 /// Times the same quick sweep serially and in parallel and records both in
@@ -351,6 +424,7 @@ fn run_bench_sweep(cli: &Cli, ctx: &ExecCtx) {
 
     let speedup = if parallel.wall_s > 0.0 { serial.wall_s / parallel.wall_s } else { 0.0 };
     let entry = bench::BenchEntry {
+        workload: bench::SWEEP_WORKLOAD.to_owned(),
         scenarios: specs.len() as u64,
         events: serial.events_executed,
         serial_wall_s: serial.wall_s,
@@ -498,8 +572,9 @@ fn run_bench_check(cli: &Cli) -> i32 {
     }
     match bench::check(&entries) {
         Ok(None) => {
+            let workload = entries.last().map(bench::workload_of).unwrap_or(bench::SWEEP_WORKLOAD);
             println!(
-                "bench-check: {} has {} entr{}; need 2 to compare — pass",
+                "bench-check: {} has {} entr{} but no earlier {workload:?} entry to compare — pass",
                 path.display(),
                 entries.len(),
                 if entries.len() == 1 { "y" } else { "ies" }
@@ -507,8 +582,10 @@ fn run_bench_check(cli: &Cli) -> i32 {
             0
         }
         Ok(Some(delta)) => {
+            let workload = entries.last().map(bench::workload_of).unwrap_or(bench::SWEEP_WORKLOAD);
             println!(
-                "bench-check: serial events/sec {:.0} -> {:.0} ({:+.1}%), threshold -{:.1}%",
+                "bench-check: [{workload}] serial events/sec {:.0} -> {:.0} ({:+.1}%), \
+                 threshold -{:.1}%",
                 delta.previous,
                 delta.latest,
                 delta.delta_pct(),
@@ -713,7 +790,16 @@ fn main() {
 
     let mut ok = true;
     if !figures.is_empty() {
-        ok = run_figures(figures, &ctx, &sweep_options(&cli));
+        // A pure `repro scale` run doubles as the scale perf measurement:
+        // its events/sec lands in the trajectory (workload-tagged, so
+        // bench-check compares it only against other scale runs). Mixed
+        // selections are not recorded — the timing would not be comparable.
+        let scale_only = figures.iter().all(|g| g.selector == "scale");
+        let (figures_ok, stats) = run_figures(figures, &ctx, &sweep_options(&cli));
+        ok = figures_ok;
+        if ok && scale_only {
+            append_scale_bench(&cli, &stats);
+        }
     }
     if cli.which.iter().any(|w| w == "bench-sweep") {
         run_bench_sweep(&cli, &ctx);

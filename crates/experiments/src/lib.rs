@@ -15,6 +15,9 @@
 //!   worker pool, content-addressed result cache);
 //! - [`stress`]: the impairment stress suite over `netsim::impair`
 //!   (burst loss, jitter, duplication, link flaps, oscillating capacity);
+//! - [`scale`]: the Internet-scale population harness over
+//!   `crates/workload` (generated topologies, heavy-tailed flow churn at
+//!   10k+ concurrent flows, streaming population metrics);
 //! - [`telemetry`]: run-health blocks ([`FigureTimer`](telemetry::FigureTimer))
 //!   and the `results/*.json` artifact wrapper.
 //!
@@ -54,6 +57,7 @@ pub mod manet;
 pub mod metrics;
 pub mod routeflap;
 pub mod runner;
+pub mod scale;
 pub mod stress;
 pub mod sweep;
 pub mod telemetry;

@@ -106,6 +106,9 @@ impl Cache {
             impair_dups: decode::get(work, "impair_dups").and_then(decode::as_u64)?,
             impair_reorders: decode::get(work, "impair_reorders").and_then(decode::as_u64)?,
             link_flaps: decode::get(work, "link_flaps").and_then(decode::as_u64)?,
+            workload_flows: decode::get(work, "workload_flows").and_then(decode::as_u64)?,
+            workload_bytes_per_flow: decode::get(work, "workload_bytes_per_flow")
+                .and_then(decode::as_u64)?,
         };
         Some(CachedRun { outcome, work })
     }
@@ -151,6 +154,11 @@ impl Cache {
                     ("impair_dups".to_owned(), Value::UInt(run.work.impair_dups)),
                     ("impair_reorders".to_owned(), Value::UInt(run.work.impair_reorders)),
                     ("link_flaps".to_owned(), Value::UInt(run.work.link_flaps)),
+                    ("workload_flows".to_owned(), Value::UInt(run.work.workload_flows)),
+                    (
+                        "workload_bytes_per_flow".to_owned(),
+                        Value::UInt(run.work.workload_bytes_per_flow),
+                    ),
                 ]),
             ),
         ]);
@@ -214,6 +222,8 @@ mod tests {
                 impair_dups: 2,
                 impair_reorders: 5,
                 link_flaps: 1,
+                workload_flows: 10_000,
+                workload_bytes_per_flow: 96,
             },
         }
     }

@@ -16,6 +16,7 @@ use crate::figures::fig6::Fig6Point;
 use crate::hunt::HuntCellResult;
 use crate::manet::ChurnResult;
 use crate::routeflap::RouteFlapResult;
+use crate::scale::ScaleResult;
 use crate::stress::StressResult;
 use crate::variants::Variant;
 
@@ -154,6 +155,25 @@ pub fn hunt_cell_result(v: &Value) -> Option<HuntCellResult> {
     })
 }
 
+/// Decodes a [`ScaleResult`].
+pub fn scale_result(v: &Value) -> Option<ScaleResult> {
+    Some(ScaleResult {
+        variant: Variant::from_name(as_str(get(v, "variant")?)?)?,
+        topology: as_str(get(v, "topology")?)?.to_owned(),
+        target_flows: u64_field(v, "target_flows")?,
+        peak_flows: u64_field(v, "peak_flows")?,
+        arrivals: u64_field(v, "arrivals")?,
+        completions: u64_field(v, "completions")?,
+        jain: f64_field(v, "jain")?,
+        goodput_cov: f64_field(v, "goodput_cov")?,
+        p99_fct_ms: f64_field(v, "p99_fct_ms")?,
+        mean_fct_ms: f64_field(v, "mean_fct_ms")?,
+        foreground_mbps: f64_field(v, "foreground_mbps")?,
+        delivered_mbps: f64_field(v, "delivered_mbps")?,
+        bytes_per_flow: u64_field(v, "bytes_per_flow")?,
+    })
+}
+
 /// Decodes an [`AblationResult`].
 pub fn ablation_result(v: &Value) -> Option<AblationResult> {
     Some(AblationResult {
@@ -259,6 +279,34 @@ mod tests {
         let reparsed = serde_json::from_str(&text).unwrap();
         let decoded = hunt_cell_result(&reparsed).expect("decode after parse");
         assert_eq!(decoded.profile, r.profile);
+        assert_eq!(decoded.jain, r.jain);
+    }
+
+    #[test]
+    fn scale_result_roundtrips() {
+        let r = ScaleResult {
+            variant: Variant::Bbr,
+            topology: "fat-tree-k4".to_owned(),
+            target_flows: 10_000,
+            peak_flows: 10_250,
+            arrivals: 14_000,
+            completions: 9_000,
+            jain: 0.81,
+            goodput_cov: 0.48,
+            p99_fct_ms: 5_120.0,
+            mean_fct_ms: 640.5,
+            foreground_mbps: 3.25,
+            delivered_mbps: 62.5,
+            bytes_per_flow: 96,
+        };
+        let v = serde::Serialize::to_value(&r);
+        let decoded = scale_result(&v).expect("decode");
+        assert_eq!(serde::Serialize::to_value(&decoded), v);
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        let decoded = scale_result(&reparsed).expect("decode after parse");
+        assert_eq!(decoded.topology, r.topology);
+        assert_eq!(decoded.bytes_per_flow, r.bytes_per_flow);
         assert_eq!(decoded.jain, r.jain);
     }
 

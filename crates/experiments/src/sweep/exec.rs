@@ -19,6 +19,7 @@ use crate::figures::fig6;
 use crate::hunt;
 use crate::manet::{self, ChurnConfig};
 use crate::routeflap::{self, RouteFlapConfig};
+use crate::scale::{self, ScaleConfig};
 use crate::stress::{self, StressConfig};
 use crate::sweep::spec::{ScenarioKind, ScenarioSpec, TopologySpec};
 use crate::topologies::{DumbbellConfig, MeshConfig, ParkingLotConfig};
@@ -79,6 +80,11 @@ impl TopologySpec {
                 }
                 FairnessTopology::ParkingLot(cfg)
             }
+            TopologySpec::Generated { model } => panic!(
+                "generated topology {} is population-only: use ScenarioKind::Scale, \
+                 not a fairness scenario",
+                model.label()
+            ),
         }
     }
 }
@@ -172,6 +178,20 @@ pub fn execute(spec: &ScenarioSpec, ctx: &ExecCtx) -> Value {
                 &spec.impairments,
                 &spec.schedule,
                 StressConfig::default(),
+                plan,
+                seed,
+            );
+            serde::Serialize::to_value(&r)
+        }
+        ScenarioKind::Scale { variant, topology, target_flows, .. } => {
+            let TopologySpec::Generated { model } = topology else {
+                panic!("scale scenarios require a generated topology, got {}", topology.label())
+            };
+            let r = scale::run_scale(
+                *variant,
+                *model,
+                *target_flows,
+                ScaleConfig::default(),
                 plan,
                 seed,
             );

@@ -23,7 +23,8 @@ use crate::figures::fig6;
 use crate::sweep::decode;
 use crate::sweep::spec::{ImpairmentSpec, PlanSpec, ScenarioKind, ScenarioSpec, TopologySpec};
 use crate::variants::Variant;
-use crate::{manet, routeflap, stress};
+use crate::{manet, routeflap, scale, stress};
+use workload::TopologyModel;
 
 /// One artifact's worth of sweep work: its job grid plus the assembler
 /// that turns outcomes into the table and the `results/<artifact>.json`
@@ -66,6 +67,8 @@ pub fn all_figures(quick: bool, trace_fig2: bool) -> Vec<FigureGrid> {
         stress_grid(quick, plan),
         stress_smoke_grid(),
         cc_smoke_grid(),
+        scale_grid(quick),
+        scale_smoke_grid(),
     ]
 }
 
@@ -513,6 +516,80 @@ fn cc_smoke_grid() -> FigureGrid {
     }
 }
 
+/// The scale-suite foreground protocols: the paper protagonist, the
+/// classical baseline and the two modern comparators.
+pub const SCALE_VARIANTS: [Variant; 4] =
+    [Variant::TcpPr, Variant::Sack, Variant::Cubic, Variant::Bbr];
+
+/// The Internet-scale population grid: each foreground variant through a
+/// k = 4 fat-tree loaded with 1k and 10k churning flows (quick mode scales
+/// the population down an order of magnitude). The plan is pinned to Quick
+/// in both modes: population FCT tails need a longer window than the smoke
+/// plan offers, while the Full plan would turn the 10k-flow point into a
+/// multi-minute cell for no extra coverage.
+fn scale_grid(quick: bool) -> FigureGrid {
+    let flows: &[u32] = if quick { &[200, 1000] } else { &[1000, 10_000] };
+    let model = TopologyModel::FatTree { k: 4 };
+    let mut specs = Vec::new();
+    for &variant in &SCALE_VARIANTS {
+        for &target_flows in flows {
+            specs.push(ScenarioSpec::new(
+                ScenarioKind::Scale {
+                    variant,
+                    topology: TopologySpec::Generated { model },
+                    target_flows,
+                    replicate: 0,
+                },
+                PlanSpec::Quick,
+            ));
+        }
+    }
+    FigureGrid {
+        selector: "scale",
+        artifact: "scale",
+        in_all: false,
+        specs,
+        assemble: assemble_scale,
+    }
+}
+
+/// The CI smoke slice of the scale suite: two variants × both generator
+/// families at a small population, pinned to the smoke plan so the
+/// byte-diff determinism job stays cheap.
+fn scale_smoke_grid() -> FigureGrid {
+    let models =
+        [TopologyModel::FatTree { k: 4 }, TopologyModel::AsGraph { nodes: 24, edges_per_node: 2 }];
+    let mut specs = Vec::new();
+    for variant in [Variant::TcpPr, Variant::Bbr] {
+        for model in models {
+            specs.push(ScenarioSpec::new(
+                ScenarioKind::Scale {
+                    variant,
+                    topology: TopologySpec::Generated { model },
+                    target_flows: 120,
+                    replicate: 0,
+                },
+                PlanSpec::Smoke,
+            ));
+        }
+    }
+    FigureGrid {
+        selector: "scale-smoke",
+        artifact: "scale_smoke",
+        in_all: false,
+        specs,
+        assemble: assemble_scale,
+    }
+}
+
+fn assemble_scale(_specs: &[ScenarioSpec], outcomes: &[Value]) -> (String, Value) {
+    let results: Vec<_> = outcomes
+        .iter()
+        .map(|v| decode::scale_result(v).expect("undecodable scale outcome"))
+        .collect();
+    (scale::format_table(&results), serde::Serialize::to_value(&results))
+}
+
 fn fig6_grid(quick: bool, plan: PlanSpec, link_delay_ms: u64) -> FigureGrid {
     let epsilons: &[f64] = if quick { &[0.0, 4.0, 500.0] } else { &fig6::EPSILONS };
     let mut specs = Vec::new();
@@ -560,6 +637,8 @@ mod tests {
             "fig6_60ms",
             "manet",
             "routeflap",
+            "scale",
+            "scale_smoke",
             "stress",
             "stress_smoke",
         ];
@@ -576,7 +655,9 @@ mod tests {
                 "faceoff",
                 "stress",
                 "stress-smoke",
-                "cc-smoke"
+                "cc-smoke",
+                "scale",
+                "scale-smoke"
             ]
         );
     }
@@ -621,6 +702,45 @@ mod tests {
                 s.kind,
                 ScenarioKind::Stress { variant: Variant::Cubic | Variant::Bbr }
             )));
+        }
+    }
+
+    #[test]
+    fn scale_grid_covers_both_population_points_per_variant() {
+        for (quick, flows) in [(true, [200, 1000]), (false, [1000, 10_000])] {
+            let grids = all_figures(quick, false);
+            let grid = grids.iter().find(|g| g.artifact == "scale").unwrap();
+            assert_eq!(grid.specs.len(), SCALE_VARIANTS.len() * 2);
+            assert!(!grid.in_all, "scale is opt-in like the other extensions");
+            assert!(grid.specs.iter().all(|s| s.plan == PlanSpec::Quick));
+            for &variant in &SCALE_VARIANTS {
+                for f in flows {
+                    assert!(
+                        grid.specs.iter().any(|s| matches!(
+                            s.kind,
+                            ScenarioKind::Scale { variant: v, target_flows, .. }
+                                if v == variant && target_flows == f
+                        )),
+                        "missing scale cell {variant:?} @ {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_smoke_is_always_smoke_plan() {
+        // Like the other smoke grids, scale-smoke ignores `--quick`: the CI
+        // byte-diff job runs the same four small cells in every mode.
+        for quick in [true, false] {
+            let grids = all_figures(quick, false);
+            let smoke = grids.iter().find(|g| g.artifact == "scale_smoke").unwrap();
+            assert_eq!(smoke.specs.len(), 4, "2 variants × 2 generator families");
+            assert!(smoke.specs.iter().all(|s| s.plan == PlanSpec::Smoke));
+            assert!(smoke
+                .specs
+                .iter()
+                .all(|s| matches!(s.kind, ScenarioKind::Scale { target_flows: 120, .. })));
         }
     }
 

@@ -18,6 +18,7 @@
 use crate::ablations::Ablation;
 use crate::runner::MeasurePlan;
 use crate::variants::Variant;
+use workload::TopologyModel;
 
 /// Code-version salt folded into every spec hash. Bump it whenever scenario
 /// *semantics* change (topology defaults, measurement protocol, sender
@@ -40,6 +41,14 @@ pub enum TopologySpec {
         /// Backbone bandwidth override, Mbps.
         backbone_mbps: Option<f64>,
     },
+    /// A seeded generated population topology (fat-tree or AS-like graph)
+    /// from `crates/workload`. Generation is a pure function of the model
+    /// and the spec's derived sim seed, so the spec stays pure data and the
+    /// content hash covers everything execution-relevant.
+    Generated {
+        /// Which generator and its shape parameters.
+        model: TopologyModel,
+    },
 }
 
 impl TopologySpec {
@@ -48,6 +57,8 @@ impl TopologySpec {
         match self {
             TopologySpec::Dumbbell { .. } => "dumbbell",
             TopologySpec::ParkingLot { .. } => "parking-lot",
+            TopologySpec::Generated { model: TopologyModel::FatTree { .. } } => "fat-tree",
+            TopologySpec::Generated { model: TopologyModel::AsGraph { .. } } => "as-graph",
         }
     }
 
@@ -56,6 +67,37 @@ impl TopologySpec {
         match *self {
             TopologySpec::Dumbbell { bottleneck_mbps } => bottleneck_mbps,
             TopologySpec::ParkingLot { backbone_mbps } => backbone_mbps,
+            TopologySpec::Generated { .. } => None,
+        }
+    }
+
+    /// Canonical hash encoding: a tag string then every parameter, in
+    /// declaration order. The dumbbell/parking-lot encodings predate this
+    /// method and must stay byte-identical (pinned-hash test below).
+    fn hash_into(&self, h: &mut Fnv1a) {
+        match *self {
+            TopologySpec::Dumbbell { bottleneck_mbps } => {
+                h.write_str("dumbbell");
+                h.write_opt_f64(bottleneck_mbps);
+            }
+            TopologySpec::ParkingLot { backbone_mbps } => {
+                h.write_str("parking-lot");
+                h.write_opt_f64(backbone_mbps);
+            }
+            TopologySpec::Generated { model } => {
+                h.write_str("generated");
+                match model {
+                    TopologyModel::FatTree { k } => {
+                        h.write_str("fat-tree");
+                        h.write_u64(u64::from(k));
+                    }
+                    TopologyModel::AsGraph { nodes, edges_per_node } => {
+                        h.write_str("as-graph");
+                        h.write_u64(u64::from(nodes));
+                        h.write_u64(u64::from(edges_per_node));
+                    }
+                }
+            }
         }
     }
 }
@@ -127,6 +169,20 @@ pub enum ScenarioKind {
     Hunt {
         /// Protocol under test.
         variant: Variant,
+    },
+    /// Internet-scale population cell: a generated topology carrying
+    /// `target_flows` concurrent churning flows (Poisson arrivals,
+    /// heavy-tailed sizes) alongside one foreground sender per variant.
+    Scale {
+        /// Protocol of the foreground flow under test.
+        variant: Variant,
+        /// Generated topology to populate (must be
+        /// [`TopologySpec::Generated`]).
+        topology: TopologySpec,
+        /// Target concurrent logical flows across the population.
+        target_flows: u32,
+        /// Replicate index, folded into the hash for distinct sim seeds.
+        replicate: u64,
     },
 }
 
@@ -413,16 +469,7 @@ impl ScenarioSpec {
         match &self.kind {
             ScenarioKind::Fairness { topology, n_flows, alpha, beta, replicate } => {
                 h.write_str("fairness");
-                match topology {
-                    TopologySpec::Dumbbell { bottleneck_mbps } => {
-                        h.write_str("dumbbell");
-                        h.write_opt_f64(*bottleneck_mbps);
-                    }
-                    TopologySpec::ParkingLot { backbone_mbps } => {
-                        h.write_str("parking-lot");
-                        h.write_opt_f64(*backbone_mbps);
-                    }
-                }
+                topology.hash_into(&mut h);
                 h.write_u64(*n_flows as u64);
                 h.write_f64(*alpha);
                 h.write_f64(*beta);
@@ -465,6 +512,13 @@ impl ScenarioSpec {
             ScenarioKind::Hunt { variant } => {
                 h.write_str("hunt");
                 h.write_str(variant.label());
+            }
+            ScenarioKind::Scale { variant, topology, target_flows, replicate } => {
+                h.write_str("scale");
+                h.write_str(variant.label());
+                topology.hash_into(&mut h);
+                h.write_u64(u64::from(*target_flows));
+                h.write_u64(*replicate);
             }
         }
         // Impairments are appended only when present, so every legacy spec
@@ -538,6 +592,13 @@ impl ScenarioSpec {
                 let profile =
                     if parts.is_empty() { "baseline".to_owned() } else { parts.join("+") };
                 format!("hunt {variant} [{profile}]")
+            }
+            ScenarioKind::Scale { variant, topology, target_flows, replicate } => {
+                let topo = match topology {
+                    TopologySpec::Generated { model } => model.label(),
+                    other => other.label().to_owned(),
+                };
+                format!("scale {variant} {topo} flows={target_flows} rep={replicate}")
             }
         }
     }
@@ -746,6 +807,70 @@ mod tests {
         let label = imp.label();
         assert!(label.contains("jitter+flap"), "{label}");
         assert!(label.contains("TCP-PR"), "{label}");
+    }
+
+    fn scale_spec(target_flows: u32, replicate: u64) -> ScenarioSpec {
+        ScenarioSpec::new(
+            ScenarioKind::Scale {
+                variant: Variant::TcpPr,
+                topology: TopologySpec::Generated { model: TopologyModel::FatTree { k: 4 } },
+                target_flows,
+                replicate,
+            },
+            PlanSpec::Quick,
+        )
+    }
+
+    #[test]
+    fn scale_hash_is_stable_across_releases() {
+        // Pinned like the fairness hash above: the scale grid's cache keys
+        // and derived sim seeds (and with them the generated topologies and
+        // churn streams) ride on this encoding.
+        assert_eq!(scale_spec(10_000, 0).hash_hex(), "9a189adc61abb1a5");
+    }
+
+    #[test]
+    fn scale_parameters_are_execution_relevant() {
+        let a = scale_spec(1000, 0);
+        assert_ne!(a.content_hash(), scale_spec(10_000, 0).content_hash());
+        assert_ne!(a.content_hash(), scale_spec(1000, 1).content_hash());
+        let as_graph = ScenarioSpec::new(
+            ScenarioKind::Scale {
+                variant: Variant::TcpPr,
+                topology: TopologySpec::Generated {
+                    model: TopologyModel::AsGraph { nodes: 40, edges_per_node: 2 },
+                },
+                target_flows: 1000,
+                replicate: 0,
+            },
+            PlanSpec::Quick,
+        );
+        assert_ne!(a.content_hash(), as_graph.content_hash(), "topology model moves the hash");
+        let bigger = ScenarioSpec {
+            kind: ScenarioKind::Scale {
+                variant: Variant::TcpPr,
+                topology: TopologySpec::Generated { model: TopologyModel::FatTree { k: 6 } },
+                target_flows: 1000,
+                replicate: 0,
+            },
+            ..a.clone()
+        };
+        assert_ne!(a.content_hash(), bigger.content_hash(), "arity moves the hash");
+    }
+
+    #[test]
+    fn generated_topology_labels_and_overrides() {
+        let ft = TopologySpec::Generated { model: TopologyModel::FatTree { k: 4 } };
+        let asg = TopologySpec::Generated {
+            model: TopologyModel::AsGraph { nodes: 24, edges_per_node: 2 },
+        };
+        assert_eq!(ft.label(), "fat-tree");
+        assert_eq!(asg.label(), "as-graph");
+        assert_eq!(ft.bandwidth_override(), None);
+        let label = scale_spec(1000, 2).label();
+        assert!(label.contains("scale"), "{label}");
+        assert!(label.contains("fat-tree-k4"), "{label}");
+        assert!(label.contains("flows=1000"), "{label}");
     }
 
     #[test]

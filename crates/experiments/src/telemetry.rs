@@ -123,8 +123,11 @@ mod tests {
             impair_dups: 1,
             impair_reorders: 6,
             link_flaps: 2,
+            workload_flows: 10_000,
+            workload_bytes_per_flow: 96,
         };
         assert!(artifact_json(&[0.0], &work).contains("\"impair_drops\""));
+        assert!(artifact_json(&[0.0], &work).contains("\"workload_flows\""));
         assert!(artifact_json(&[0.0], &work).contains("\"traced_keep_first_sims\""));
         let rows = vec![1.0_f64, 2.0];
         let json = artifact_json(&rows, &work);

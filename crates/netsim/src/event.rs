@@ -169,6 +169,14 @@ impl EventQueue {
         self.peak_len
     }
 
+    /// In-memory footprint of one scheduled event record, bytes. Lets
+    /// harnesses convert [`EventQueue::peak_len`] (surfaced as
+    /// `peak_event_heap` in run health) into a byte figure, e.g. for
+    /// per-flow memory accounting at population scale.
+    pub fn record_bytes() -> usize {
+        std::mem::size_of::<Scheduled>()
+    }
+
     /// Number of pending [`EventKind::Arrive`] events — packets currently
     /// in flight between a link's transmitter and its far end. Used by the
     /// conservation check in [`crate::oracle`]; O(pending events).

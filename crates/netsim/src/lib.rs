@@ -50,7 +50,7 @@ pub mod traffic;
 
 pub use agent::{Agent, AgentCtx};
 pub use ids::{AgentId, FlowId, LinkId, NodeId};
-pub use impair::{AdminEntry, ImpairStats, LinkAdmin, StageConfig};
+pub use impair::{derive_seed, AdminEntry, ImpairStats, LinkAdmin, StageConfig};
 pub use link::LinkConfig;
 pub use oracle::{Snapshot, Violation};
 pub use packet::{AckHeader, DataHeader, Packet, PacketKind, ACK_PACKET_BYTES, DATA_PACKET_BYTES};

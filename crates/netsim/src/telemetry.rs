@@ -197,6 +197,14 @@ pub struct SessionStats {
     pub impair_reorders: u64,
     /// Administrative link-down transitions executed, summed.
     pub link_flaps: u64,
+    /// Peak concurrent logical workload flows in any simulator (reported
+    /// by population-scale harnesses via [`session::add_workload`]; 0 for
+    /// runs without a generated flow population).
+    pub workload_flows: u64,
+    /// Peak bytes of per-flow state (churn slabs plus the event heap's
+    /// share) per concurrent logical flow — the measurable form of the
+    /// flat-per-flow-memory claim. Maximum over simulators.
+    pub workload_bytes_per_flow: u64,
 }
 
 impl SessionStats {
@@ -214,6 +222,9 @@ impl SessionStats {
         self.impair_dups += other.impair_dups;
         self.impair_reorders += other.impair_reorders;
         self.link_flaps += other.link_flaps;
+        self.workload_flows = self.workload_flows.max(other.workload_flows);
+        self.workload_bytes_per_flow =
+            self.workload_bytes_per_flow.max(other.workload_bytes_per_flow);
     }
 }
 
@@ -236,6 +247,8 @@ pub mod session {
             impair_dups: 0,
             impair_reorders: 0,
             link_flaps: 0,
+            workload_flows: 0,
+            workload_bytes_per_flow: 0,
         }) };
     }
 
@@ -288,6 +301,18 @@ pub mod session {
             s.link_flaps += impair.flaps;
         });
     }
+
+    /// Records the peak concurrent logical-flow count and the derived
+    /// per-flow memory footprint of a population-scale workload run.
+    /// Both are high-water marks: calling this for several simulators
+    /// keeps the worst case, which is what the flat-memory claim is about.
+    pub fn add_workload(flows: u64, bytes_per_flow: u64) {
+        SESSION.with(|s| {
+            let mut s = s.borrow_mut();
+            s.workload_flows = s.workload_flows.max(flows);
+            s.workload_bytes_per_flow = s.workload_bytes_per_flow.max(bytes_per_flow);
+        });
+    }
 }
 
 /// Health metadata for one run (e.g. one figure of the reproduction),
@@ -311,6 +336,12 @@ pub struct RunHealth {
     /// Simulators that traced with a keep-latest ring (drops are the
     /// *earliest* records).
     pub traced_keep_latest_sims: u64,
+    /// Peak concurrent logical workload flows (0 without a generated
+    /// flow population).
+    pub workload_flows: u64,
+    /// Peak per-flow state bytes at that concurrency (the flat-memory
+    /// measurement; 0 without a generated flow population).
+    pub workload_bytes_per_flow: u64,
     /// Wall-clock duration of the run, seconds.
     pub wall_time_s: f64,
 }
@@ -330,6 +361,8 @@ impl RunHealth {
             dropped_trace_records: stats.dropped_trace_records,
             traced_keep_first_sims: stats.traced_keep_first_sims,
             traced_keep_latest_sims: stats.traced_keep_latest_sims,
+            workload_flows: stats.workload_flows,
+            workload_bytes_per_flow: stats.workload_bytes_per_flow,
             wall_time_s,
         }
     }
@@ -508,6 +541,8 @@ mod tests {
             impair_dups: 1,
             impair_reorders: 3,
             link_flaps: 2,
+            workload_flows: 1_000,
+            workload_bytes_per_flow: 64,
         };
         let b = SessionStats {
             sims: 2,
@@ -520,6 +555,8 @@ mod tests {
             impair_dups: 0,
             impair_reorders: 4,
             link_flaps: 1,
+            workload_flows: 400,
+            workload_bytes_per_flow: 96,
         };
         a.merge(&b);
         assert_eq!(a.sims, 3);
@@ -532,6 +569,18 @@ mod tests {
         assert_eq!(a.impair_dups, 1);
         assert_eq!(a.impair_reorders, 7);
         assert_eq!(a.link_flaps, 3, "impairment counters add like the others");
+        assert_eq!(a.workload_flows, 1_000, "flow concurrency is a high-water mark");
+        assert_eq!(a.workload_bytes_per_flow, 96, "per-flow memory keeps the worst case");
+    }
+
+    #[test]
+    fn add_workload_keeps_high_water_marks() {
+        session::reset();
+        session::add_workload(1_000, 48);
+        session::add_workload(500, 80);
+        let s = session::take();
+        assert_eq!(s.workload_flows, 1_000);
+        assert_eq!(s.workload_bytes_per_flow, 80);
     }
 
     #[test]

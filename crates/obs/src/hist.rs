@@ -89,6 +89,32 @@ impl LogHistogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Exact upper bound on the `q`-quantile sample, or `None` when empty.
+    ///
+    /// Walks the buckets until the cumulative count reaches
+    /// `ceil(q * count)` (clamped to `[1, count]`) and returns the
+    /// inclusive upper edge of that bucket, tightened by the recorded
+    /// `max`. Pure integer bucket arithmetic: the bound is deterministic,
+    /// never below the true quantile, and at most one bucket width (a
+    /// factor of two) above it — which is what online p99 reporting over
+    /// sim-time quantities needs.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = if i + 1 < BUCKETS { bucket_lo(i + 1) - 1 } else { u64::MAX };
+                return Some(hi.min(self.max));
+            }
+        }
+        unreachable!("bucket counts always sum to count")
+    }
 }
 
 impl Serialize for LogHistogram {
@@ -143,6 +169,44 @@ mod tests {
         assert_eq!(h.min, 0);
         assert_eq!(h.max, 1024);
         assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn quantile_upper_bound_walks_buckets_exactly() {
+        let mut h = LogHistogram::default();
+        assert_eq!(h.quantile_upper_bound(0.99), None, "empty histogram has no quantiles");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 of 1..=100 lands in bucket [32, 63]; p99 in [64, 127] but is
+        // tightened by max = 100. p0 clamps to rank 1 (the minimum's bucket).
+        assert_eq!(h.quantile_upper_bound(0.5), Some(63));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(100), "bound tightens to observed max");
+        assert_eq!(h.quantile_upper_bound(1.0), Some(100));
+        assert_eq!(h.quantile_upper_bound(0.0), Some(1));
+        let mut single = LogHistogram::default();
+        single.record(0);
+        assert_eq!(single.quantile_upper_bound(0.99), Some(0), "zero bucket is exact");
+    }
+
+    #[test]
+    fn quantile_bound_never_undershoots() {
+        // Against a sorted reference: the bound must be >= the true
+        // quantile for every q on a heavy-tailed-ish sample set.
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * i * 7919) % 100_000).collect();
+        let mut h = LogHistogram::default();
+        let mut sorted = samples.clone();
+        for &s in &samples {
+            h.record(s);
+        }
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let bound = h.quantile_upper_bound(q).unwrap();
+            assert!(bound >= truth, "q={q}: bound {bound} < true quantile {truth}");
+            assert!(bound <= truth.max(1) * 2, "q={q}: bound {bound} looser than one bucket");
+        }
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # workload — seeded scenario-population generation
+//!
+//! The paper's evaluation (and every grid in `experiments`) runs a handful
+//! of hand-wired senders over dumbbell/parking-lot/mesh topologies. This
+//! crate generates *populations*: structured data-center and Internet-like
+//! topologies, plus an open-loop flow churn process with heavy-tailed flow
+//! sizes, scaled to 10k+ concurrent flows with flat per-flow memory.
+//!
+//! Three building blocks:
+//!
+//! - [`topo`] — k-ary fat-tree and preferential-attachment AS-like graph
+//!   generators. Every per-link parameter (delay jitter, capacity draw) is
+//!   keyed by [`netsim::derive_seed`] over the link's index, so generation
+//!   is a pure function of `(model, seed)` — byte-identical at any worker
+//!   count, which the sweep engine's content-hash cache requires.
+//! - [`churn`] — a Poisson arrival/departure process multiplexing logical
+//!   flows over one `netsim` agent pair per host pair (the timer-driven
+//!   emission loop follows [`netsim::traffic::OnOffSource`]). Per-flow
+//!   state is a fixed-size slab entry; completed-flow statistics fold into
+//!   streaming accumulators, never per-flow `Vec`s.
+//! - [`stats`] — the streaming accumulators: incremental Jain's fairness
+//!   index and coefficient of variation from running (n, Σx, Σx²), and
+//!   p99 flow-completion time from the exact integer
+//!   [`obs::LogHistogram`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod churn;
+pub mod dist;
+pub mod stats;
+pub mod topo;
+
+pub use churn::{ChurnConfig, ChurnSink, ChurnSource, ChurnStats};
+pub use dist::SizeDist;
+pub use stats::Streaming;
+pub use topo::{GenLink, GeneratedTopology, TopologyModel};

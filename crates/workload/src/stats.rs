@@ -1,0 +1,146 @@
+//! Streaming population statistics.
+//!
+//! At 10k+ concurrent flows, per-flow sample vectors are exactly the
+//! memory growth the churn engine is designed to avoid. Everything the
+//! population metrics need reduces to three running sums — `n`, `Σx`,
+//! `Σx²` — which give both Jain's fairness index
+//! `(Σx)² / (n · Σx²)` and the coefficient of variation incrementally,
+//! in O(1) memory. (The two are tied: `J = 1 / (1 + CoV²)`.)
+//! Flow-completion-time quantiles come from the exact integer
+//! [`obs::LogHistogram`], merged bucket-wise in a fixed order.
+
+use serde::{Serialize, Value};
+
+/// Incremental first/second-moment accumulator over f64 samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Streaming {
+    /// Number of samples folded in.
+    pub n: u64,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl Streaming {
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sumsq += x * x;
+    }
+
+    /// Folds another accumulator in. Callers that need bit-reproducible
+    /// results must merge in a fixed order (floating-point addition is not
+    /// associative); the scale harness merges per-pair accumulators in
+    /// pair-index order.
+    pub fn merge(&mut self, other: &Streaming) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+    }
+
+    /// Sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Jain's fairness index `(Σx)² / (n · Σx²)` over the samples so far:
+    /// 1.0 for perfectly equal allocations, `1/n` in the worst case.
+    /// `None` when empty or all-zero.
+    pub fn jain(&self) -> Option<f64> {
+        (self.n > 0 && self.sumsq > 0.0)
+            .then(|| (self.sum * self.sum) / (self.n as f64 * self.sumsq))
+    }
+
+    /// Coefficient of variation (population standard deviation over mean).
+    /// `None` when empty or the mean is not positive.
+    pub fn cov(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        if mean <= 0.0 {
+            return None;
+        }
+        let var = (self.sumsq / self.n as f64 - mean * mean).max(0.0);
+        Some(var.sqrt() / mean)
+    }
+}
+
+impl Serialize for Streaming {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("n".to_owned(), Value::UInt(self.n)),
+            ("mean".to_owned(), Value::Float(self.mean().unwrap_or(0.0))),
+            ("jain".to_owned(), Value::Float(self.jain().unwrap_or(0.0))),
+            ("cov".to_owned(), Value::Float(self.cov().unwrap_or(0.0))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_samples_are_perfectly_fair() {
+        let mut s = Streaming::default();
+        for _ in 0..10 {
+            s.push(5.0);
+        }
+        assert!((s.jain().unwrap() - 1.0).abs() < 1e-12);
+        assert!(s.cov().unwrap() < 1e-9);
+        assert_eq!(s.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn one_hog_gives_one_over_n() {
+        let mut s = Streaming::default();
+        s.push(10.0);
+        for _ in 0..9 {
+            s.push(0.0);
+        }
+        assert!((s.jain().unwrap() - 0.1).abs() < 1e-12, "1/n fairness floor");
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = Streaming::default();
+        for &x in &xs {
+            s.push(x);
+        }
+        let sum: f64 = xs.iter().sum();
+        let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+        let jain = sum * sum / (xs.len() as f64 * sumsq);
+        assert!((s.jain().unwrap() - jain).abs() < 1e-12);
+        // Identity check: J = 1 / (1 + CoV²).
+        let cov = s.cov().unwrap();
+        assert!((s.jain().unwrap() - 1.0 / (1.0 + cov * cov)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let (mut a, mut b, mut all) =
+            (Streaming::default(), Streaming::default(), Streaming::default());
+        for i in 0..5 {
+            a.push(i as f64);
+            all.push(i as f64);
+        }
+        for i in 5..9 {
+            b.push(i as f64);
+            all.push(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.n, all.n);
+        assert!((a.jain().unwrap() - all.jain().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases_are_none() {
+        let s = Streaming::default();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.jain(), None);
+        assert_eq!(s.cov(), None);
+        let mut zeros = Streaming::default();
+        zeros.push(0.0);
+        assert_eq!(zeros.jain(), None);
+        assert_eq!(zeros.cov(), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests over the topology generators: every generated graph —
+//! any model parameters, any seed — must be connected, carry sane per-link
+//! parameters, route loop-free between all host pairs, and regenerate
+//! byte-identically from the same `(model, seed)` (the foundation of the
+//! sweep engine's any-`--jobs` determinism).
+
+use netsim::routing::Routing;
+use proptest::prelude::*;
+use workload::TopologyModel;
+
+/// Builds a bounded-size model from integer-sampled parameters so the
+/// all-pairs route walk stays cheap: fat-trees up to k=6 (54 hosts), AS
+/// graphs up to 48 nodes. `family` picks the generator.
+fn model(family: u8, half_k: u32, nodes: u32, edges_per_node: u32) -> TopologyModel {
+    if family == 0 {
+        TopologyModel::FatTree { k: 2 * half_k }
+    } else {
+        TopologyModel::AsGraph { nodes: nodes.max(edges_per_node + 1), edges_per_node }
+    }
+}
+
+proptest! {
+    #[test]
+    fn generated_graphs_are_connected_with_sane_links(
+        family in 0u8..2,
+        half_k in 1u32..=3,
+        nodes in 4u32..=48,
+        epn in 1u32..=3,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = model(family, half_k, nodes, epn);
+        let t = m.generate(seed);
+        prop_assert!(t.is_connected(), "{m:?} seed {seed} is disconnected");
+        prop_assert!(!t.hosts.is_empty());
+        for (i, l) in t.links.iter().enumerate() {
+            prop_assert!(l.a < t.node_count && l.b < t.node_count && l.a != l.b,
+                "{m:?} link {i} has bad endpoints {}-{}", l.a, l.b);
+            prop_assert!(l.mbps > 0.0, "{m:?} link {i} has no bandwidth");
+            prop_assert!(l.delay_us > 0, "{m:?} link {i} has zero delay");
+            prop_assert!(l.queue_packets > 0, "{m:?} link {i} has no queue");
+        }
+    }
+
+    #[test]
+    fn shortest_path_routing_is_loop_free_between_all_host_pairs(
+        family in 0u8..2,
+        half_k in 1u32..=3,
+        nodes in 4u32..=48,
+        epn in 1u32..=3,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = model(family, half_k, nodes, epn);
+        let t = m.generate(seed);
+        let routing = Routing::shortest_path(&t.routing_graph());
+        for &src in &t.hosts {
+            for &dst in &t.hosts {
+                if src == dst {
+                    continue;
+                }
+                let hops = t.walk_route(&routing, src, dst);
+                prop_assert!(
+                    hops.is_some_and(|h| h <= t.node_count),
+                    "{m:?} seed {seed}: route {src}->{dst} loops or dead-ends"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible_and_seed_sensitive(
+        family in 0u8..2,
+        half_k in 1u32..=3,
+        nodes in 4u32..=48,
+        epn in 1u32..=3,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = model(family, half_k, nodes, epn);
+        let a = m.generate(seed);
+        let b = m.generate(seed);
+        prop_assert_eq!(&a, &b, "same (model, seed) must regenerate identically");
+        // A different seed keeps the structure family but redraws link
+        // parameters (delays are jittered per-link).
+        let c = m.generate(seed ^ 0x9e37_79b9_7f4a_7c15);
+        prop_assert_eq!(a.node_count, c.node_count);
+        prop_assert!(a.links != c.links, "{m:?}: link draws must move with the seed");
+    }
+}
